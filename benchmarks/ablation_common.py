@@ -1,0 +1,37 @@
+"""Shared setup for the ablation benchmarks."""
+
+from __future__ import annotations
+
+from repro.bench import scaled
+from repro.views import MaterializedView
+from repro.workload import (
+    RetailConfig,
+    build_retail_warehouse,
+    generate_retail,
+    update_generating_changes,
+)
+
+ABLATION_POS = 100_000
+ABLATION_CHANGES = 10_000
+
+
+def ablation_setup(seed: int = 2024):
+    """Generate the standard ablation workload: a scaled retail warehouse
+    plus one update-generating change set (not yet applied)."""
+    data = generate_retail(
+        RetailConfig(pos_rows=scaled(ABLATION_POS, minimum=1_000), seed=seed)
+    )
+    warehouse = build_retail_warehouse(data)
+    views = warehouse.views_over("pos")
+    changes = update_generating_changes(
+        data.pos, data.config, scaled(ABLATION_CHANGES), data.rng
+    )
+    return data, views, changes
+
+
+def clone_views(views):
+    """Deep-copy materialised views so a refresh can be repeated."""
+    return [
+        MaterializedView(view.definition, view.table.copy())
+        for view in views
+    ]

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures: a cross-test result store and file output.
+
+Every Figure 9 panel's series table and shape-claim report is printed to
+stdout (``-s`` is set in ``pytest.ini``) and saved under
+``benchmarks/results/`` so EXPERIMENTS.md can reference a stable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_store() -> dict:
+    """Session-wide storage so later panels can run cross-panel checks
+    (e.g. refresh cost: update- vs insertion-generating)."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a named report under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return save

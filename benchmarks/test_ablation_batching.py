@@ -1,0 +1,85 @@
+"""Ablation: deferred batch maintenance vs immediate per-change maintenance.
+
+Section 2: "most warehouses do not apply the changes immediately.  Instead,
+changes are deferred and applied ... in a single batch.  Deferring the
+changes ... can make the maintenance more efficient."  This bench
+quantifies the claim: the same change stream is maintained once as a
+single nightly batch and once change-by-change (the eager regime of
+immediate view maintenance).
+"""
+
+import pytest
+
+from repro.bench import scaled
+from repro.core import maintain_view
+from repro.views import MaterializedView
+from repro.warehouse import ChangeSet
+from repro.workload import (
+    RetailConfig,
+    generate_retail,
+    sid_sales,
+    update_generating_changes,
+)
+
+POS_ROWS = 20_000
+STREAM = 1_000
+
+
+@pytest.fixture(scope="module")
+def change_stream():
+    data = generate_retail(
+        RetailConfig(pos_rows=scaled(POS_ROWS, minimum=1_000), seed=111)
+    )
+    changes = update_generating_changes(
+        data.pos, data.config, scaled(STREAM, minimum=20), data.rng
+    )
+    stream = [("+", row) for row in changes.insertions.scan()]
+    stream += [("-", row) for row in changes.deletions.scan()]
+    data.rng.shuffle(stream)
+    return data, stream
+
+
+def fresh_state(data):
+    pos_copy = data.pos.table.copy()
+    original, data.pos.table = data.pos.table, pos_copy
+    view = MaterializedView.build(sid_sales(data.pos))
+    data.pos.table = original
+    return pos_copy, view
+
+
+def test_deferred_batch(benchmark, change_stream):
+    data, stream = change_stream
+
+    def run():
+        pos_copy, view = fresh_state(data)
+        original, data.pos.table = data.pos.table, pos_copy
+        try:
+            changes = ChangeSet("pos", pos_copy.schema)
+            for kind, row in stream:
+                (changes.insert if kind == "+" else changes.delete)(row)
+            return maintain_view(view, changes).stats
+        finally:
+            data.pos.table = original
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stats.touched > 0
+
+
+def test_immediate_per_change(benchmark, change_stream):
+    data, stream = change_stream
+
+    def run():
+        pos_copy, view = fresh_state(data)
+        original, data.pos.table = data.pos.table, pos_copy
+        try:
+            touched = 0
+            for kind, row in stream:
+                changes = ChangeSet("pos", pos_copy.schema)
+                (changes.insert if kind == "+" else changes.delete)(row)
+                touched += maintain_view(view, changes).stats.touched
+            return touched
+        finally:
+            data.pos.table = original
+
+    touched = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert touched > 0

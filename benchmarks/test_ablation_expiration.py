@@ -1,0 +1,75 @@
+"""Ablation: data expiration — the summary-delta method's worst case.
+
+Warehouses age out old data by deleting the oldest dates wholesale.  For a
+view carrying MIN(date) this is adversarial: every group whose earliest
+sale falls in the expired window trips Figure 7's recompute check.  This
+bench compares summary-delta maintenance against rematerialisation on an
+expiration batch, and reports the recompute count — the honest boundary of
+the method's advantage.
+"""
+
+import pytest
+
+from repro.bench import scaled
+from repro.lattice import maintain_lattice, rematerialize_with_lattice
+from repro.views import MaterializedView
+from repro.workload import (
+    RetailConfig,
+    expiration_changes,
+    generate_retail,
+    retail_view_definitions,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = generate_retail(
+        RetailConfig(pos_rows=scaled(100_000, minimum=2_000), seed=131)
+    )
+    return data
+
+
+def build_views(data):
+    return [
+        MaterializedView.build(definition)
+        for definition in retail_view_definitions(data.pos)
+    ]
+
+
+def test_expiration_summary_delta(benchmark, setup):
+    data = setup
+
+    def run():
+        views = build_views(data)
+        pos_copy = data.pos.table.copy()
+        original, data.pos.table = data.pos.table, pos_copy
+        try:
+            changes = expiration_changes(data.pos, n_oldest_dates=1)
+            return maintain_lattice(views, changes)
+        finally:
+            data.pos.table = original
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    recomputed = sum(stats.recomputed for stats in result.stats.values())
+    deleted = sum(stats.deleted for stats in result.stats.values())
+    print(f"\n  expiration batch: {deleted:,} view tuples deleted, "
+          f"{recomputed:,} groups recomputed from base")
+    assert deleted > 0
+
+
+def test_expiration_rematerialize(benchmark, setup):
+    data = setup
+
+    def run():
+        views = build_views(data)
+        pos_copy = data.pos.table.copy()
+        original, data.pos.table = data.pos.table, pos_copy
+        try:
+            changes = expiration_changes(data.pos, n_oldest_dates=1)
+            changes.apply_to(data.pos.table)
+            return rematerialize_with_lattice(views)
+        finally:
+            data.pos.table = original
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.offline_seconds > 0

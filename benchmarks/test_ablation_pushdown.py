@@ -1,0 +1,60 @@
+"""Ablation: join push-down (§5.3) vs joining everything at the top (§5.2).
+
+Two ways to run the same four summary tables as a lattice:
+
+* **push-down** — the standard plan: the root view keeps only fact
+  attributes; each lattice edge joins exactly the dimension table it needs
+  (Figure 8's edge annotations).
+* **join-at-top** — the Example 5.2 alternative: the root view is widened
+  to carry every hierarchy attribute (city, region, category), so no edge
+  below needs a join, at the price of wider tuples and a wider root delta.
+
+We compare end-to-end lattice propagate time and report the root delta
+width as the explanatory statistic.
+"""
+
+import pytest
+
+from repro.lattice import (
+    ViewLattice,
+    make_lattice_friendly,
+    propagate_lattice,
+)
+from repro.workload import retail_view_definitions
+
+from ablation_common import ablation_setup
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    data, views, changes = ablation_setup(seed=79)
+    pushdown = [view.definition for view in views]
+    top_heavy = [
+        definition.resolved()
+        for definition in make_lattice_friendly(
+            retail_view_definitions(data.pos)
+        )
+    ]
+    return changes, {
+        "push-down": ViewLattice.build(pushdown),
+        "join-at-top": ViewLattice.build(top_heavy),
+    }
+
+
+@pytest.mark.parametrize("plan_name", ["push-down", "join-at-top"])
+def test_lattice_propagate_join_placement(benchmark, prepared, plan_name):
+    changes, lattices = prepared
+    lattice = lattices[plan_name]
+
+    deltas = benchmark.pedantic(
+        lambda: propagate_lattice(lattice, changes),
+        rounds=3,
+        iterations=1,
+    )
+    root = next(node for node in lattice.nodes.values() if node.is_root)
+    width = len(deltas[root.name].table.schema)
+    rows = len(deltas[root.name].table)
+    print(f"\n  {plan_name}: root delta {rows} rows × {width} columns")
+
+    # Both plans produce the same number of deltas, one per view.
+    assert len(deltas) == 4

@@ -1,0 +1,51 @@
+"""Bench: the OLAP speedup summary tables exist to provide (§1).
+
+Answers a representative analyst query from the routed summary table and
+from the base fact table, quantifying the motivation for maintaining many
+summary tables in the first place.
+"""
+
+import pytest
+
+from repro.aggregates import CountStar, Sum
+from repro.query import AggregateQuery, QueryRouter
+from repro.query.router import _project_user_columns
+from repro.relational import col
+from repro.views import compute_rows
+from repro.workload import RetailConfig, build_retail_warehouse, generate_retail
+
+from repro.bench import scaled
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = generate_retail(
+        RetailConfig(pos_rows=scaled(100_000, minimum=1_000), seed=31)
+    )
+    warehouse = build_retail_warehouse(data)
+    router = QueryRouter(warehouse)
+    query = AggregateQuery.create(
+        data.pos, ["region"],
+        [("sales", CountStar()), ("units", Sum(col("qty")))],
+    )
+    return router, query
+
+
+def test_query_routed_to_summary_table(benchmark, setup):
+    router, query = setup
+    plan = router.plan(query)
+    assert plan.uses_summary_table
+    result = benchmark(router.answer, query)
+    assert len(result) == 5
+
+
+def test_query_answered_from_base(benchmark, setup):
+    router, query = setup
+
+    def from_base():
+        resolved = query.definition.resolved()
+        return _project_user_columns(compute_rows(resolved), resolved, query)
+
+    result = benchmark.pedantic(from_base, rounds=3, iterations=1)
+    assert len(result) == 5
+    assert result.sorted_rows() == router.answer(query).sorted_rows()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""How many summary tables fit in a fixed batch window?
+
+The paper's motivation (Section 1): "the time required for maintenance is
+often a limiting factor in the number of summary tables that can be made
+available in the warehouse."  This example quantifies that: it adds
+progressively more summary tables, and for each warehouse configuration
+measures the *offline* time (the batch window) under three strategies —
+rematerialisation, affected-group recomputation, and the summary-delta
+method.  Because summary-delta propagation runs online, only its refresh
+counts against the window.
+
+Run:  python examples/batch_window.py
+"""
+
+from repro import CountStar, Max, Min, Sum, SummaryViewDefinition, col
+from repro.core import maintain_by_group_recompute
+from repro.lattice import maintain_lattice, rematerialize_with_lattice
+from repro.views import MaterializedView
+from repro.warehouse import BatchWindowClock
+from repro.workload import RetailConfig, generate_retail, update_generating_changes
+
+POS_ROWS = 30_000
+CHANGES = 1_500
+
+
+def candidate_definitions(pos):
+    """A pool of ten summary tables a DBA might want, coarse to fine."""
+    count_sum = [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))]
+    pool = [
+        ("by_region", ["region"], ["stores"], count_sum),
+        ("by_category", ["category"], ["items"], count_sum),
+        ("by_date", ["date"], [], count_sum),
+        ("by_city_date", ["city", "region", "date"], ["stores"], count_sum),
+        ("by_store_cat", ["storeID", "category"], ["items"],
+         count_sum + [("EarliestSale", Min(col("date")))]),
+        ("by_region_cat", ["region", "category"], ["stores", "items"], count_sum),
+        ("by_store_date", ["storeID", "date"], [], count_sum),
+        ("by_item_date", ["itemID", "date"], [],
+         count_sum + [("TopQty", Max(col("qty")))]),
+        ("by_city_cat", ["city", "region", "category"], ["stores", "items"], count_sum),
+        ("by_store_item_date", ["storeID", "itemID", "date"], [], count_sum),
+    ]
+    return [
+        SummaryViewDefinition.create(name, pos, group_by, aggregates, dimensions)
+        for name, group_by, dimensions, aggregates in pool
+    ]
+
+
+def clone(views):
+    return [MaterializedView(v.definition, v.table.copy()) for v in views]
+
+
+def main() -> None:
+    data = generate_retail(RetailConfig(pos_rows=POS_ROWS, seed=3))
+    definitions = candidate_definitions(data.pos)
+
+    print(f"pos = {POS_ROWS:,} rows; nightly change set = {CHANGES:,} tuples")
+    print(f"\n{'# views':>8} | {'remat window':>13} | {'group-rec window':>17} "
+          f"| {'summary-delta window':>21} | {'(online propagate)':>19}")
+
+    for count in (2, 4, 6, 8, 10):
+        views = [
+            MaterializedView.build(definition)
+            for definition in definitions[:count]
+        ]
+        changes = update_generating_changes(
+            data.pos, data.config, CHANGES, data.rng
+        )
+
+        # Strategy 1: rematerialise everything in the window.
+        remat_clock = BatchWindowClock()
+        scratch = clone(views)
+        with remat_clock.offline("apply-base"):
+            snapshot = data.pos.table.copy()
+            changes.apply_to(snapshot)
+        original = data.pos.table
+        data.pos.table = snapshot
+        try:
+            rematerialize_with_lattice(scratch, clock=remat_clock)
+
+            # Strategy 2: affected-group recomputation (delta paradigm).
+            group_clock = BatchWindowClock()
+            scratch = clone(views)
+            for view in scratch:
+                maintain_by_group_recompute(
+                    view, changes, apply_base_changes=False, clock=group_clock
+                )
+
+            # Strategy 3: the summary-delta method.
+            sd_clock = BatchWindowClock()
+            scratch = clone(views)
+            maintain_lattice(
+                scratch, changes, apply_base_changes=False, clock=sd_clock
+            )
+        finally:
+            data.pos.table = original
+
+        print(
+            f"{count:>8} | {remat_clock.report.offline_seconds:>12.3f}s | "
+            f"{group_clock.report.offline_seconds:>16.3f}s | "
+            f"{sd_clock.report.offline_seconds:>20.3f}s | "
+            f"{sd_clock.report.online_seconds:>18.3f}s"
+        )
+
+    print(
+        "\nReading: with a fixed window budget, the summary-delta column\n"
+        "grows slowest — more summary tables fit before the warehouse\n"
+        "misses its morning deadline (the paper's Section 1 argument)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""OLAP queries answered from summary tables — the point of it all.
+
+The paper's opening: warehouses keep many summary tables "to help them
+increase the system performance" of aggregate queries.  This example runs a
+small analyst session against the retail warehouse: each query is routed to
+the cheapest materialised summary table that can answer it (decided with
+the same derives relation that drives maintenance), with timings compared
+against computing from the fact table.
+
+Run:  python examples/olap_queries.py
+"""
+
+import time
+
+from repro import Avg, Count, CountStar, Min, Sum, col
+from repro.query import AggregateQuery, QueryRouter
+from repro.query.router import _project_user_columns
+from repro.views import compute_rows
+from repro.workload import RetailConfig, build_retail_warehouse, generate_retail
+
+
+def from_base(query):
+    resolved = query.definition.resolved()
+    return _project_user_columns(compute_rows(resolved), resolved, query)
+
+
+def main() -> None:
+    data = generate_retail(RetailConfig(pos_rows=100_000, seed=2))
+    warehouse = build_retail_warehouse(data)
+    router = QueryRouter(warehouse)
+    pos = data.pos
+
+    session = [
+        ("Units sold per region",
+         AggregateQuery.create(pos, ["region"], [("units", Sum(col("qty")))])),
+        ("Sales count by city and date",
+         AggregateQuery.create(pos, ["city", "date"], [("sales", CountStar())])),
+        ("Earliest sale per store and category",
+         AggregateQuery.create(
+             pos, ["storeID", "category"],
+             [("first_sale", Min(col("date")))])),
+        ("Average basket quantity per region",
+         AggregateQuery.create(pos, ["region"], [("avg_qty", Avg(col("qty")))])),
+        ("Grand totals",
+         AggregateQuery.create(pos, [], [("sales", CountStar()),
+                                         ("units", Sum(col("qty")))])),
+        ("Revenue per item (no view can answer this one)",
+         AggregateQuery.create(
+             pos, ["itemID"],
+             [("revenue", Sum(col("qty") * col("price")))])),
+    ]
+
+    print(f"Warehouse: pos = {len(pos.table):,} rows; summary tables: "
+          + ", ".join(f"{v.name} ({len(v.table):,})"
+                      for v in warehouse.views.values()))
+    print()
+
+    for title, query in session:
+        started = time.perf_counter()
+        answer = router.answer(query)
+        routed_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        baseline = from_base(query)
+        base_s = time.perf_counter() - started
+        assert answer.sorted_rows() == baseline.sorted_rows()
+
+        speedup = base_s / routed_s if routed_s > 0 else float("inf")
+        print(f"{title}")
+        print(f"  {router.explain(query)}")
+        print(f"  {routed_s * 1000:8.1f} ms routed   vs {base_s * 1000:8.1f} ms "
+              f"from base   ({speedup:,.0f}× speedup)")
+        for row in answer.sorted_rows()[:3]:
+            print(f"    {row}")
+        if len(answer) > 3:
+            print(f"    ... {len(answer) - 3} more rows")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The full running example: four summary tables maintained as a lattice.
+
+Recreates the paper's Section 2 scenario at a realistic (but quick) scale:
+a synthetic pos table, the four summary tables of Figure 1, the optimized
+V-lattice of Figure 8, and a week of nightly maintenance batches mixing the
+paper's two change workloads.  Each night prints the batch-window split and
+compares against what rematerialisation would have cost.
+
+Run:  python examples/retail_warehouse.py
+"""
+
+import time
+
+from repro import rematerialize_with_lattice
+from repro.lattice import build_lattice_for_views, maintain_lattice
+from repro.views import render_view_sql
+from repro.workload import (
+    RetailConfig,
+    build_retail_warehouse,
+    generate_retail,
+    insertion_generating_changes,
+    update_generating_changes,
+)
+
+POS_ROWS = 50_000
+NIGHTLY_CHANGES = 2_000
+
+
+def main() -> None:
+    print(f"Generating retail warehouse ({POS_ROWS:,} pos tuples)...")
+    data = generate_retail(RetailConfig(pos_rows=POS_ROWS, seed=1997))
+    warehouse = build_retail_warehouse(data)
+    views = warehouse.views_over("pos")
+
+    print("\nSummary tables (paper, Figure 1):")
+    for view in views:
+        print()
+        print(render_view_sql(view.definition, include_synthetic=False))
+        print(f"-- materialised: {len(view.table):,} rows")
+
+    lattice = build_lattice_for_views(views)
+    print("\nOptimized maintenance lattice (paper, Figure 8):")
+    print(lattice.describe())
+
+    print("\nOne week of nightly batches:")
+    print(f"{'night':>6} | {'workload':<22} | {'propagate':>10} | "
+          f"{'refresh':>9} | {'window':>8} | {'remat would be':>14}")
+    for night in range(1, 8):
+        if night % 3 == 0:
+            workload = "insertion-generating"
+            changes = insertion_generating_changes(
+                data.pos, data.config, NIGHTLY_CHANGES, data.rng
+            )
+        else:
+            workload = "update-generating"
+            changes = update_generating_changes(
+                data.pos, data.config, NIGHTLY_CHANGES, data.rng
+            )
+
+        result = maintain_lattice(views, changes)
+
+        started = time.perf_counter()
+        rematerialize_with_lattice(views)
+        remat_seconds = time.perf_counter() - started
+
+        print(
+            f"{night:>6} | {workload:<22} | "
+            f"{result.propagate_seconds:>9.3f}s | "
+            f"{result.refresh_seconds:>8.3f}s | "
+            f"{result.report.offline_seconds:>7.3f}s | "
+            f"{remat_seconds:>13.3f}s"
+        )
+
+    print(
+        "\nThe batch window (refresh + base update) stays a fraction of the\n"
+        "rematerialisation cost, and propagate runs while the warehouse is\n"
+        "still answering queries — the paper's core operational claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses PEP 517 editable wheels, which require the
+``wheel`` package; on fully-offline machines without it, run
+``python setup.py develop`` instead — it produces the same editable
+install via the legacy egg-link mechanism.
+"""
+
+from setuptools import setup
+
+setup()

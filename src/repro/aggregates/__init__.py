@@ -1,0 +1,27 @@
+"""Paper-level aggregate functions and their self-maintainability facts."""
+
+from .base import AggregateClass, AggregateFunction, SelfMaintainability
+from .standard import (
+    Avg,
+    Count,
+    CountDistinct,
+    CountStar,
+    Max,
+    Median,
+    Min,
+    Sum,
+)
+
+__all__ = [
+    "AggregateClass",
+    "AggregateFunction",
+    "Avg",
+    "Count",
+    "CountDistinct",
+    "CountStar",
+    "Max",
+    "Median",
+    "Min",
+    "SelfMaintainability",
+    "Sum",
+]

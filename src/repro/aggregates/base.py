@@ -1,0 +1,156 @@
+"""Aggregate-function framework: classification and self-maintainability.
+
+Section 3.1 of the paper classifies aggregate functions (after [GBLP96]) as
+*distributive* (computable by combining partial aggregates: COUNT, SUM, MIN,
+MAX), *algebraic* (a scalar function of distributive ones: AVG = SUM/COUNT),
+or *holistic* (MEDIAN — not supported by the summary-delta method).
+
+Definition 3.1 defines a set of aggregate functions as *self-maintainable*
+when their new values are computable from their old values plus the changes
+alone.  The key facts the framework encodes:
+
+* every distributive function is self-maintainable w.r.t. insertions;
+* ``COUNT(*)`` is self-maintainable w.r.t. deletions, and makes ``COUNT(e)``
+  and (absent nulls) ``SUM(e)`` self-maintainable w.r.t. deletions; with
+  nulls, ``SUM(e)`` additionally needs ``COUNT(e)``;
+* ``MIN``/``MAX`` are *not* self-maintainable w.r.t. deletions and cannot be
+  made so — the refresh function detects the at-risk cases and recomputes
+  from base data.
+
+Each concrete function (see :mod:`repro.aggregates.standard`) knows how to:
+
+* materialise itself from base rows (a :class:`~repro.relational.aggregation.Reducer`);
+* derive its *aggregate-source* expression for the prepare-insertions and
+  prepare-deletions views (the paper's Table 1);
+* combine prepare-changes rows into a summary-delta value (the *delta
+  reducer*: SUM for counts and sums, MIN/MAX for themselves);
+* name the companion functions it needs to become self-maintainable
+  (Section 5.4's augmentation rules).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import UnsupportedAggregateError
+from ..relational.aggregation import Reducer
+from ..relational.expressions import Expression
+
+
+class AggregateClass(enum.Enum):
+    """The [GBLP96] classification used throughout the paper."""
+
+    DISTRIBUTIVE = "distributive"
+    ALGEBRAIC = "algebraic"
+    HOLISTIC = "holistic"
+
+
+@dataclass(frozen=True)
+class SelfMaintainability:
+    """Whether a function is self-maintainable w.r.t. each change kind.
+
+    ``on_delete_requires`` lists companion aggregates (by kind) whose
+    presence upgrades deletion self-maintainability — e.g. ``SUM(e)``
+    becomes deletion-self-maintainable once ``COUNT(*)`` (and, with nulls,
+    ``COUNT(e)``) are stored alongside it.
+    """
+
+    on_insert: bool
+    on_delete: bool
+    on_delete_requires: tuple[str, ...] = ()
+
+
+class AggregateFunction:
+    """Base class for the paper-level aggregate functions.
+
+    Subclasses are immutable value objects: two instances compare equal when
+    they have the same kind and the same (structurally equal) argument
+    expression, which is how lattice-edge construction matches a child
+    view's aggregates against a parent's.
+    """
+
+    #: Short machine name of the function family ("count_star", "sum", ...).
+    kind: str = "?"
+    #: The [GBLP96] class of the function.
+    aggregate_class: AggregateClass = AggregateClass.DISTRIBUTIVE
+
+    def __init__(self, argument: Expression | None):
+        self.argument = argument
+
+    # -- identity --------------------------------------------------------
+
+    def _key(self) -> tuple:
+        arg_key = None if self.argument is None else self.argument._key()
+        return (self.kind, arg_key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AggregateFunction):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return self.render()
+
+    def render(self) -> str:
+        """SQL text, e.g. ``SUM(qty)`` or ``COUNT(*)``."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> frozenset[str]:
+        """Columns referenced by the argument (empty for ``COUNT(*)``)."""
+        if self.argument is None:
+            return frozenset()
+        return self.argument.columns()
+
+    # -- materialisation from base rows -----------------------------------
+
+    def base_reducer(self) -> Reducer:
+        """Reducer that computes this function from raw base rows."""
+        raise NotImplementedError
+
+    # -- the paper's Table 1 ----------------------------------------------
+
+    def insertion_source(self) -> Expression:
+        """Aggregate-source expression for the prepare-insertions view."""
+        raise NotImplementedError
+
+    def deletion_source(self) -> Expression:
+        """Aggregate-source expression for the prepare-deletions view."""
+        raise NotImplementedError
+
+    # -- summary-delta computation ------------------------------------------
+
+    def delta_reducer(self) -> Reducer:
+        """Reducer that folds prepare-changes sources into a delta value.
+
+        COUNT and SUM deltas are sums of their signed sources; MIN/MAX
+        deltas are the min/max over the changed values.
+        """
+        raise NotImplementedError
+
+    # -- self-maintainability ----------------------------------------------
+
+    def self_maintainability(self) -> SelfMaintainability:
+        """Definition 3.1 facts for this function."""
+        raise NotImplementedError
+
+    def companions_for_self_maintenance(self) -> tuple["AggregateFunction", ...]:
+        """Aggregates that must be stored alongside this one (Section 5.4).
+
+        Every aggregate view gets ``COUNT(*)``; a view computing ``SUM(e)``,
+        ``MIN(e)``, or ``MAX(e)`` is further augmented with ``COUNT(e)``.
+        The returned companions may duplicate ones already present — the
+        view layer deduplicates.
+        """
+        raise NotImplementedError
+
+    def ensure_supported(self) -> None:
+        """Reject functions the summary-delta method cannot maintain."""
+        if self.aggregate_class is AggregateClass.HOLISTIC:
+            raise UnsupportedAggregateError(
+                f"{self.render()} is holistic; the summary-delta method does "
+                "not support holistic aggregate functions (paper, Section 3.1)"
+            )

@@ -1,0 +1,298 @@
+"""The concrete aggregate functions: COUNT(*), COUNT(e), SUM, MIN, MAX, AVG.
+
+The Table 1 derivations (paper, Section 4.1.1) are implemented by each
+class's :meth:`insertion_source` / :meth:`deletion_source`:
+
+===============  ====================================  ====================================
+function         prepare-insertions source             prepare-deletions source
+===============  ====================================  ====================================
+``COUNT(*)``     ``1``                                 ``-1``
+``COUNT(expr)``  ``CASE WHEN expr IS NULL              ``CASE WHEN expr IS NULL
+                 THEN 0 ELSE 1 END``                   THEN 0 ELSE -1 END``
+``SUM(expr)``    ``expr``                              ``-expr``
+``MIN(expr)``    ``expr``                              ``expr``
+``MAX(expr)``    ``expr``                              ``expr``
+===============  ====================================  ====================================
+
+``AVG`` is algebraic and is never materialised directly; the view layer
+stores ``SUM(e)`` and ``COUNT(e)`` and exposes the quotient (paper,
+Section 3.1).  ``MEDIAN`` and ``COUNT(DISTINCT e)`` are provided only so the
+validation path has something concrete to reject.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnsupportedAggregateError
+from ..relational.aggregation import (
+    CountNonNullReducer,
+    CountRowsReducer,
+    MaxReducer,
+    MinReducer,
+    Reducer,
+    SumReducer,
+)
+from ..relational.expressions import Case, Expression, Literal, Neg
+from .base import AggregateClass, AggregateFunction, SelfMaintainability
+
+
+class CountStar(AggregateFunction):
+    """``COUNT(*)`` — the linchpin of deletion self-maintainability."""
+
+    kind = "count_star"
+    aggregate_class = AggregateClass.DISTRIBUTIVE
+
+    def __init__(self) -> None:
+        super().__init__(argument=None)
+
+    def render(self) -> str:
+        return "COUNT(*)"
+
+    def base_reducer(self) -> Reducer:
+        return CountRowsReducer()
+
+    def insertion_source(self) -> Expression:
+        return Literal(1)
+
+    def deletion_source(self) -> Expression:
+        return Literal(-1)
+
+    def delta_reducer(self) -> Reducer:
+        return SumReducer()
+
+    def self_maintainability(self) -> SelfMaintainability:
+        return SelfMaintainability(on_insert=True, on_delete=True)
+
+    def companions_for_self_maintenance(self) -> tuple[AggregateFunction, ...]:
+        return ()
+
+
+class Count(AggregateFunction):
+    """``COUNT(expr)`` — counts non-null values of *expr*."""
+
+    kind = "count"
+    aggregate_class = AggregateClass.DISTRIBUTIVE
+
+    def __init__(self, argument: Expression):
+        super().__init__(argument=argument)
+
+    def render(self) -> str:
+        return f"COUNT({self.argument.render()})"
+
+    def base_reducer(self) -> Reducer:
+        return CountNonNullReducer()
+
+    def insertion_source(self) -> Expression:
+        return Case([(self.argument.is_null(), Literal(0))], Literal(1))
+
+    def deletion_source(self) -> Expression:
+        return Case([(self.argument.is_null(), Literal(0))], Literal(-1))
+
+    def delta_reducer(self) -> Reducer:
+        return SumReducer()
+
+    def self_maintainability(self) -> SelfMaintainability:
+        return SelfMaintainability(
+            on_insert=True, on_delete=True, on_delete_requires=("count_star",)
+        )
+
+    def companions_for_self_maintenance(self) -> tuple[AggregateFunction, ...]:
+        return (CountStar(),)
+
+
+class Sum(AggregateFunction):
+    """``SUM(expr)`` — null-skipping sum."""
+
+    kind = "sum"
+    aggregate_class = AggregateClass.DISTRIBUTIVE
+
+    def __init__(self, argument: Expression):
+        super().__init__(argument=argument)
+
+    def render(self) -> str:
+        return f"SUM({self.argument.render()})"
+
+    def base_reducer(self) -> Reducer:
+        return SumReducer()
+
+    def insertion_source(self) -> Expression:
+        return self.argument
+
+    def deletion_source(self) -> Expression:
+        return Neg(self.argument)
+
+    def delta_reducer(self) -> Reducer:
+        return SumReducer()
+
+    def self_maintainability(self) -> SelfMaintainability:
+        # With nulls in the aggregated column, SUM needs both COUNT(*) and
+        # COUNT(e); without nulls, COUNT(*) suffices (paper, Section 3.1).
+        return SelfMaintainability(
+            on_insert=True, on_delete=True,
+            on_delete_requires=("count_star", "count"),
+        )
+
+    def companions_for_self_maintenance(self) -> tuple[AggregateFunction, ...]:
+        return (CountStar(), Count(self.argument))
+
+
+class Min(AggregateFunction):
+    """``MIN(expr)`` — not self-maintainable w.r.t. deletions."""
+
+    kind = "min"
+    aggregate_class = AggregateClass.DISTRIBUTIVE
+
+    def __init__(self, argument: Expression):
+        super().__init__(argument=argument)
+
+    def render(self) -> str:
+        return f"MIN({self.argument.render()})"
+
+    def base_reducer(self) -> Reducer:
+        return MinReducer()
+
+    def insertion_source(self) -> Expression:
+        return self.argument
+
+    def deletion_source(self) -> Expression:
+        return self.argument
+
+    def delta_reducer(self) -> Reducer:
+        return MinReducer()
+
+    def self_maintainability(self) -> SelfMaintainability:
+        return SelfMaintainability(on_insert=True, on_delete=False)
+
+    def companions_for_self_maintenance(self) -> tuple[AggregateFunction, ...]:
+        return (CountStar(), Count(self.argument))
+
+
+class Max(AggregateFunction):
+    """``MAX(expr)`` — not self-maintainable w.r.t. deletions."""
+
+    kind = "max"
+    aggregate_class = AggregateClass.DISTRIBUTIVE
+
+    def __init__(self, argument: Expression):
+        super().__init__(argument=argument)
+
+    def render(self) -> str:
+        return f"MAX({self.argument.render()})"
+
+    def base_reducer(self) -> Reducer:
+        return MaxReducer()
+
+    def insertion_source(self) -> Expression:
+        return self.argument
+
+    def deletion_source(self) -> Expression:
+        return self.argument
+
+    def delta_reducer(self) -> Reducer:
+        return MaxReducer()
+
+    def self_maintainability(self) -> SelfMaintainability:
+        return SelfMaintainability(on_insert=True, on_delete=False)
+
+    def companions_for_self_maintenance(self) -> tuple[AggregateFunction, ...]:
+        return (CountStar(), Count(self.argument))
+
+
+class Avg(AggregateFunction):
+    """``AVG(expr)`` — algebraic; stored as ``SUM(expr)`` / ``COUNT(expr)``.
+
+    The view layer (see
+    :meth:`repro.views.definition.SummaryViewDefinition.resolved`) replaces
+    an ``AVG`` output with its two distributive components and records the
+    quotient as a derived (virtual) output.
+    """
+
+    kind = "avg"
+    aggregate_class = AggregateClass.ALGEBRAIC
+
+    def __init__(self, argument: Expression):
+        super().__init__(argument=argument)
+
+    def render(self) -> str:
+        return f"AVG({self.argument.render()})"
+
+    def components(self) -> tuple[Sum, Count]:
+        """The distributive components AVG decomposes into."""
+        return (Sum(self.argument), Count(self.argument))
+
+    def base_reducer(self) -> Reducer:
+        raise UnsupportedAggregateError(
+            "AVG is algebraic and must be decomposed into SUM/COUNT before "
+            "materialisation; call .components()"
+        )
+
+    insertion_source = base_reducer
+    deletion_source = base_reducer
+    delta_reducer = base_reducer
+
+    def self_maintainability(self) -> SelfMaintainability:
+        return SelfMaintainability(
+            on_insert=True, on_delete=True,
+            on_delete_requires=("count_star", "count"),
+        )
+
+    def companions_for_self_maintenance(self) -> tuple[AggregateFunction, ...]:
+        return (CountStar(), Count(self.argument))
+
+
+class Median(AggregateFunction):
+    """``MEDIAN(expr)`` — holistic; exists only to be rejected."""
+
+    kind = "median"
+    aggregate_class = AggregateClass.HOLISTIC
+
+    def __init__(self, argument: Expression):
+        super().__init__(argument=argument)
+
+    def render(self) -> str:
+        return f"MEDIAN({self.argument.render()})"
+
+    def base_reducer(self) -> Reducer:
+        self.ensure_supported()
+        raise AssertionError("unreachable")
+
+    insertion_source = base_reducer
+    deletion_source = base_reducer
+    delta_reducer = base_reducer
+
+    def self_maintainability(self) -> SelfMaintainability:
+        return SelfMaintainability(on_insert=False, on_delete=False)
+
+    def companions_for_self_maintenance(self) -> tuple[AggregateFunction, ...]:
+        return ()
+
+
+class CountDistinct(AggregateFunction):
+    """``COUNT(DISTINCT expr)`` — not distributive (paper, Section 3.1).
+
+    Classified holistic here because, like holistic functions, it cannot be
+    computed by combining partial results; it exists to exercise the
+    rejection path.
+    """
+
+    kind = "count_distinct"
+    aggregate_class = AggregateClass.HOLISTIC
+
+    def __init__(self, argument: Expression):
+        super().__init__(argument=argument)
+
+    def render(self) -> str:
+        return f"COUNT(DISTINCT {self.argument.render()})"
+
+    def base_reducer(self) -> Reducer:
+        self.ensure_supported()
+        raise AssertionError("unreachable")
+
+    insertion_source = base_reducer
+    deletion_source = base_reducer
+    delta_reducer = base_reducer
+
+    def self_maintainability(self) -> SelfMaintainability:
+        return SelfMaintainability(on_insert=False, on_delete=False)
+
+    def companions_for_self_maintenance(self) -> tuple[AggregateFunction, ...]:
+        return ()

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figure9 {a,b,c,d}``
+    Run one panel of the paper's Figure 9 and print the series table plus
+    the shape-claim verdicts.  ``--scale`` shrinks the workload.
+``lattice``
+    Build the retail warehouse and print the Figure 8 maintenance plan and
+    the Figure 5 combined-lattice summary.
+``maintain``
+    One nightly maintenance run over a synthetic warehouse, with the
+    batch-window report and a rematerialisation comparison.
+``select``
+    HRU greedy view selection over the combined lattice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+
+def _cmd_figure9(args: argparse.Namespace) -> int:
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    from .bench import (
+        check_lattice_helps_propagate,
+        check_maintenance_beats_rematerialization,
+        format_claims,
+        format_panel,
+        run_panel,
+    )
+
+    panel = run_panel(args.panel)
+    print(format_panel(panel))
+    print()
+    claims = [
+        check_maintenance_beats_rematerialization(panel),
+        check_lattice_helps_propagate(panel),
+    ]
+    print(format_claims(claims))
+    return 0 if all(claim.holds for claim in claims) else 1
+
+
+def _cmd_lattice(args: argparse.Namespace) -> int:
+    from .lattice import build_lattice_for_views, combined_lattice
+    from .workload import RetailConfig, build_retail_warehouse, generate_retail
+
+    data = generate_retail(RetailConfig(pos_rows=args.pos_rows))
+    warehouse = build_retail_warehouse(data)
+    lattice = build_lattice_for_views(warehouse.views_over("pos"))
+    print("Maintenance plan (paper, Figure 8):")
+    print(lattice.describe())
+
+    combined = combined_lattice([
+        data.stores.hierarchy.levels,
+        data.items.hierarchy.levels,
+        ("date",),
+    ])
+    print(
+        f"\nCombined cube lattice (paper, Figure 5): {len(combined.nodes)} "
+        f"candidate views, {len(combined.edges)} derivation edges."
+    )
+    return 0
+
+
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    from .lattice import maintain_lattice, rematerialize_with_lattice
+    from .workload import (
+        RetailConfig,
+        build_retail_warehouse,
+        generate_retail,
+        insertion_generating_changes,
+        update_generating_changes,
+    )
+
+    data = generate_retail(RetailConfig(pos_rows=args.pos_rows))
+    warehouse = build_retail_warehouse(data)
+    views = warehouse.views_over("pos")
+    if args.workload == "insert":
+        changes = insertion_generating_changes(
+            data.pos, data.config, args.changes, data.rng
+        )
+    else:
+        changes = update_generating_changes(
+            data.pos, data.config, args.changes, data.rng
+        )
+
+    result = maintain_lattice(views, changes)
+    print(f"Maintained {len(views)} summary tables over "
+          f"{changes.size():,} changes:")
+    for name, stats in result.stats.items():
+        print(f"  {name:<12} {stats.updated:>6} updated  {stats.inserted:>5} "
+              f"inserted  {stats.deleted:>5} deleted  "
+              f"{stats.recomputed:>5} recomputed")
+    print(f"\n{result.report.summary()}")
+
+    started = time.perf_counter()
+    rematerialize_with_lattice(views)
+    print(f"(rematerialising instead would have taken "
+          f"{time.perf_counter() - started:.3f}s of batch window)")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from .lattice import (
+        combined_lattice,
+        exact_node_sizes,
+        greedy_select,
+        grouping_label,
+    )
+    from .workload import RetailConfig, generate_retail
+
+    data = generate_retail(RetailConfig(pos_rows=args.pos_rows))
+    lattice = combined_lattice([
+        data.stores.hierarchy.levels,
+        data.items.hierarchy.levels,
+        ("date",),
+    ])
+    source = data.pos.join_dimensions(data.pos.table, ["stores", "items"])
+    sizes = exact_node_sizes(lattice, source)
+    selection = greedy_select(lattice, sizes, view_budget=args.budget)
+    order = ["storeID", "city", "region", "itemID", "category", "date"]
+    print(f"HRU greedy selection (budget {args.budget} beyond the top view):")
+    for step in selection.steps:
+        print(f"  {grouping_label(step.node, order):<32} "
+              f"size {sizes[step.node]:>8,}  benefit {step.benefit:>12,.0f}")
+    print(f"total query cost: {selection.total_cost:,.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Summary-delta warehouse maintenance (SIGMOD 1997 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure9 = sub.add_parser("figure9", help="run one Figure 9 panel")
+    figure9.add_argument("panel", choices=["a", "b", "c", "d"])
+    figure9.add_argument("--scale", type=float, default=None,
+                         help="workload scale factor (default: paper scale)")
+    figure9.set_defaults(func=_cmd_figure9)
+
+    lattice = sub.add_parser("lattice", help="print the Figure 8 plan")
+    lattice.add_argument("--pos-rows", type=int, default=10_000)
+    lattice.set_defaults(func=_cmd_lattice)
+
+    maintain = sub.add_parser("maintain", help="one nightly maintenance run")
+    maintain.add_argument("--pos-rows", type=int, default=50_000)
+    maintain.add_argument("--changes", type=int, default=5_000)
+    maintain.add_argument("--workload", choices=["update", "insert"],
+                          default="update")
+    maintain.set_defaults(func=_cmd_maintain)
+
+    select = sub.add_parser("select", help="HRU greedy view selection")
+    select.add_argument("--pos-rows", type=int, default=10_000)
+    select.add_argument("--budget", type=int, default=5)
+    select.set_defaults(func=_cmd_select)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Compensated reads: query a stale view through its pending delta.
+
+The propagate/refresh split ([CGL+96], which the paper builds on) enables
+one more trick: once a summary delta has been *computed*, readers can see
+up-to-date results **before** refresh runs, by compensating the stale view
+with the delta at read time.  The warehouse thus serves fresh answers even
+while the batch window is still hours away.
+
+:func:`read_through_delta` materialises that compensated state into a
+fresh table, leaving the stored view untouched.  It reuses the refresh
+decision logic, so compensated reads and the eventual refresh can never
+disagree.
+"""
+
+from __future__ import annotations
+
+from ..views.materialize import MaterializedView
+from .deltas import SummaryDelta
+from .refresh import RecomputeFn, RefreshVariant, refresh
+
+
+def read_through_delta(
+    view: MaterializedView,
+    delta: SummaryDelta,
+    recompute: RecomputeFn | None = None,
+) -> MaterializedView:
+    """Return a *copy* of the view with *delta* applied.
+
+    The stored view is not modified; the returned
+    :class:`~repro.views.materialize.MaterializedView` is a transient
+    snapshot suitable for answering queries (e.g. via
+    :meth:`~repro.views.materialize.MaterializedView.read` or the query
+    router).
+
+    MIN/MAX caveats: when the delta threatens a stored extremum, refresh
+    consults base data through *recompute*.  During the online window the
+    base table has **not** yet absorbed the changes, so a recompute-needing
+    read would see pre-change base data and be wrong for deleted extrema.
+    Pass ``recompute=None`` (the default) to fail fast in that case rather
+    than serve a wrong answer; views without MIN/MAX never need it.
+    """
+    snapshot = MaterializedView(view.definition, view.table.copy())
+    refresh(
+        snapshot,
+        delta,
+        recompute=recompute,
+        variant=RefreshVariant.OUTER_JOIN,
+    )
+    return snapshot

@@ -1,0 +1,233 @@
+"""Propagate for changes to dimension tables (paper, Section 4.1.4).
+
+The paper sketches the technique: starting from the changes to a dimension
+table, derive dimension-table-specific prepare-insertions /
+prepare-deletions views (e.g. ``pi_items_SiC_sales`` joins ``pos`` with
+``items_ins``), union them into prepare-changes, and aggregate as usual.
+
+This module implements the sketch in full generality, including
+*simultaneous* changes to the fact table and any number of dimension
+tables.  Correctness comes from the bag-algebra expansion
+
+    ⨂(R + ΔR) − ⨂R  =  Σ over non-empty subsets T of changed relations:
+                          ⨂_{r∈T} ΔR_r  ⋈  ⨂_{r∉T} R_r
+
+where each Δ carries per-row signs (+1 insertions, −1 deletions) and a
+joined row's net sign is the product of its factors' signs.  A net sign of
++1 contributes like an insertion (Table 1's prepare-insertions sources), a
+net sign of −1 like a deletion.  With only fact-table changes the expansion
+degenerates to the ordinary prepare-changes view; with only one changed
+dimension it degenerates to the paper's ``pi_items_…`` / ``pd_items_…``
+views.
+
+Everything here is evaluated against the *pre-update* warehouse state —
+i.e. call it before applying any change set to base tables — so propagate
+stays an online phase.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping
+
+from ..errors import MaintenanceError
+from ..relational.aggregation import group_by
+from ..relational.expressions import Case, Column, Expression, Literal, Mul
+from ..relational.operators import hash_join, project, select, union_all
+from ..relational.schema import Schema
+from ..relational.table import Table
+from ..views.definition import SummaryViewDefinition
+from ..warehouse.changes import ChangeSet
+from .deltas import MinMaxPolicy, SummaryDelta, del_column, ins_column, minmax_outputs
+from .propagate import _delta_specs
+from .prepare import source_column
+
+
+def _sign_column(relation_name: str) -> str:
+    return f"__sign_{relation_name}"
+
+
+def _signed_changes(changes: ChangeSet, relation_name: str) -> Table:
+    """Stack insertions (+1) and deletions (−1) with a sign column."""
+    schema = Schema(list(changes.schema.columns) + [_sign_column(relation_name)])
+    signed = Table(f"signed_{relation_name}", schema)
+    for row in changes.insertions.scan():
+        signed.insert(row + (1,))
+    for row in changes.deletions.scan():
+        signed.insert(row + (-1,))
+    return signed
+
+
+def prepare_changes_combined(
+    definition: SummaryViewDefinition,
+    fact_changes: ChangeSet | None,
+    dimension_changes: Mapping[str, ChangeSet] | None = None,
+    policy: MinMaxPolicy = MinMaxPolicy.PAPER,
+) -> Table:
+    """Prepare-changes for simultaneous fact and dimension changes.
+
+    Returns a table shaped like the ordinary ``pc_`` view (group-bys plus
+    aggregate-source columns, plus split columns under the SPLIT policy).
+    Must be called against the pre-update warehouse state.
+    """
+    dimension_changes = dict(dimension_changes or {})
+    for dimension_name in dimension_changes:
+        if dimension_name not in definition.dimensions:
+            raise MaintenanceError(
+                f"view {definition.name!r} does not join dimension "
+                f"{dimension_name!r}"
+            )
+
+    changed: list[str] = []
+    if fact_changes is not None and fact_changes.size():
+        changed.append("__fact__")
+    changed.extend(
+        name for name, change_set in dimension_changes.items() if change_set.size()
+    )
+
+    fact = definition.fact
+    parts: list[Table] = []
+    for subset_size in range(1, len(changed) + 1):
+        for subset in combinations(changed, subset_size):
+            parts.append(
+                _subset_term(
+                    definition, set(subset), fact_changes, dimension_changes, policy
+                )
+            )
+    if not parts:
+        # No changes at all: an empty, correctly-shaped pc table.
+        empty = ChangeSet(fact.name, fact.table.schema)
+        parts.append(
+            _subset_term(definition, {"__fact__"}, empty, {}, policy)
+        )
+    return union_all(parts, name=f"pc_{definition.name}")
+
+
+def _subset_term(
+    definition: SummaryViewDefinition,
+    delta_relations: set[str],
+    fact_changes: ChangeSet | None,
+    dimension_changes: Mapping[str, ChangeSet],
+    policy: MinMaxPolicy,
+) -> Table:
+    """One term of the expansion: Δ for relations in *delta_relations*,
+    old state for the rest, projected to signed aggregate sources."""
+    fact = definition.fact
+    sign_columns: list[str] = []
+
+    if "__fact__" in delta_relations:
+        if fact_changes is None:
+            raise MaintenanceError("fact changes requested but none provided")
+        current = _signed_changes(fact_changes, fact.name)
+        sign_columns.append(_sign_column(fact.name))
+    else:
+        current = fact.table
+
+    for dimension_name in definition.dimensions:
+        fk = fact.foreign_key_for(dimension_name)
+        if dimension_name in delta_relations:
+            dim_side = _signed_changes(dimension_changes[dimension_name], dimension_name)
+            sign_columns.append(_sign_column(dimension_name))
+        else:
+            dim_side = fk.dimension.table
+        current = hash_join(current, dim_side, on=[(fk.column, fk.dimension.key)])
+
+    if definition.where is not None:
+        current = select(current, definition.where)
+
+    net_sign: Expression = Literal(1)
+    for sign_column in sign_columns:
+        net_sign = Mul(net_sign, Column(sign_column))
+
+    outputs: list[tuple[str, Expression]] = [
+        (attribute, Column(attribute)) for attribute in definition.group_by
+    ]
+    positive = net_sign.gt(Literal(0))
+    for output in definition.aggregates:
+        outputs.append(
+            (
+                source_column(output.name),
+                _signed_source(output, net_sign, positive),
+            )
+        )
+    if policy is MinMaxPolicy.SPLIT:
+        for output in minmax_outputs(definition):
+            value = output.function.argument
+            outputs.append(
+                (ins_column(output.name),
+                 Case([(positive, value)], Literal(None)))
+            )
+            outputs.append(
+                (del_column(output.name),
+                 Case([(positive, Literal(None))], value))
+            )
+    return project(current, outputs)
+
+
+def _signed_source(output, net_sign: Expression, positive: Expression) -> Expression:
+    """The aggregate-source expression under a ±1 net sign.
+
+    Multiplying by the sign reproduces Table 1 for count/sum sources; MIN
+    and MAX sources are the raw value regardless of sign (the delta keeps
+    the extremum over *all* changed values, as in the paper).
+    """
+    kind = output.function.kind
+    if kind == "count_star":
+        return net_sign
+    if kind == "count":
+        return Case(
+            [(output.function.argument.is_null(), Literal(0))], net_sign
+        )
+    if kind == "sum":
+        return Mul(output.function.argument, net_sign)
+    if kind in ("min", "max"):
+        return output.function.argument
+    raise MaintenanceError(f"unsupported aggregate kind {kind!r}")
+
+
+def compute_summary_delta_combined(
+    definition: SummaryViewDefinition,
+    fact_changes: ChangeSet | None,
+    dimension_changes: Mapping[str, ChangeSet] | None = None,
+    policy: MinMaxPolicy = MinMaxPolicy.PAPER,
+) -> SummaryDelta:
+    """Summary delta under simultaneous fact and dimension changes.
+
+    When the view computes MIN/MAX and dimension changes are present, the
+    policy is upgraded to ``SPLIT`` automatically: the expansion's cross
+    terms can cancel contributions within a group, and a single combined
+    extremum column (the PAPER representation) cannot tell a cancelled
+    value from a surviving one.  The SPLIT delta keeps deletion-side
+    footprints, letting refresh recompute exactly the affected groups —
+    including groups new to the view.
+    """
+    if (
+        policy is MinMaxPolicy.PAPER
+        and dimension_changes
+        and any(change_set.size() for change_set in dimension_changes.values())
+        and minmax_outputs(definition)
+    ):
+        policy = MinMaxPolicy.SPLIT
+    pc = prepare_changes_combined(
+        definition, fact_changes, dimension_changes, policy
+    )
+    delta_rows = group_by(
+        pc,
+        definition.group_by,
+        _delta_specs(definition, policy),
+        name=f"sd_{definition.name}",
+    )
+    return SummaryDelta(definition, delta_rows, policy)
+
+
+def apply_all_changes(
+    fact_changes: ChangeSet | None,
+    dimension_changes: Mapping[str, ChangeSet] | None,
+    definition: SummaryViewDefinition,
+) -> None:
+    """Apply fact and dimension change sets to their base tables."""
+    if dimension_changes:
+        for dimension_name, change_set in dimension_changes.items():
+            change_set.apply_to(definition.fact.dimension(dimension_name).table)
+    if fact_changes is not None:
+        fact_changes.apply_to(definition.fact.table)

@@ -1,0 +1,230 @@
+"""MIN/MAX recomputation strategies: base-table scan vs index-assisted.
+
+Figure 7 recomputes a threatened group "from the base data for t's group".
+The naive strategy — one filtered pass over fact ⋈ dimensions for all
+flagged groups — costs O(|fact|) per refresh, which makes refresh time grow
+with the fact table and buries the paper's falling-refresh-time effect in
+panel 9(b) (see EXPERIMENTS.md).
+
+The paper's testbed had a composite index on ``(storeID, itemID, date)``;
+a real optimizer answers a per-group recompute through it.  This module
+plans the same access path for the hash-index engine: for each column of a
+candidate fact index, find a *provider* of candidate values implied by the
+group key —
+
+* ``fixed``     — the column is itself a group-by attribute;
+* ``dim_attrs`` — the column is a foreign key, and the group key fixes
+  attributes of its dimension (e.g. ``category`` → the item ids in that
+  category);
+* ``dim_all``   — the column is a foreign key unconstrained by the group
+  key: every dimension key is a candidate;
+* ``domain``    — the column's distinct values are tracked by the table
+  (:meth:`repro.relational.table.Table.track_domain`), e.g. ``date``.
+
+The cartesian product of providers yields the exact index keys covering
+the group; if the estimated probe count beats the scan, the index path is
+used, otherwise the planner falls back to the batched scan.  Either way
+the recomputed values are identical — tested against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable
+
+from ..relational.index import HashIndex
+from ..relational.operators import select
+from ..relational.table import Table
+from ..views.definition import SummaryViewDefinition
+
+GroupKey = tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class _Provider:
+    """Candidate values for one index column, given a group key."""
+
+    kind: str                       # fixed | dim_attrs | dim_all | domain
+    group_position: int = -1        # fixed: position within the group key
+    dimension_name: str = ""        # dim_attrs / dim_all
+    attr_group_positions: tuple[int, ...] = ()   # dim_attrs
+    column: str = ""                # domain
+
+    def estimate(self, definition: SummaryViewDefinition) -> float:
+        fact = definition.fact
+        if self.kind == "fixed":
+            return 1.0
+        if self.kind == "dim_attrs":
+            dimension = fact.dimension(self.dimension_name)
+            size = max(1, len(dimension.table))
+            # Assume attribute combinations partition the keys evenly.
+            combos = max(1, len({
+                tuple(row[p] for p in dimension.table.schema.positions(
+                    [definition.group_by[i] for i in self.attr_group_positions]
+                ))
+                for row in dimension.table.scan()
+            }))
+            return size / combos
+        if self.kind == "dim_all":
+            return float(max(1, len(fact.dimension(self.dimension_name).table)))
+        domain = fact.table.domain(self.column)
+        return float(len(domain) if domain else 1)
+
+
+@dataclass
+class IndexRecomputePlan:
+    """A feasible index access path for per-group recomputation."""
+
+    definition: SummaryViewDefinition
+    index: HashIndex
+    providers: tuple[_Provider, ...]
+    estimated_probes_per_group: float
+
+    def candidate_keys(self, key: GroupKey) -> list[tuple]:
+        """All index keys that rows of group *key* can have."""
+        fact = self.definition.fact
+        per_column: list[list[Any]] = []
+        for provider in self.providers:
+            if provider.kind == "fixed":
+                per_column.append([key[provider.group_position]])
+            elif provider.kind == "dim_attrs":
+                dimension = fact.dimension(provider.dimension_name)
+                attrs = [
+                    self.definition.group_by[i]
+                    for i in provider.attr_group_positions
+                ]
+                positions = dimension.table.schema.positions(attrs)
+                key_position = dimension.table.schema.position(dimension.key)
+                wanted = tuple(key[i] for i in provider.attr_group_positions)
+                per_column.append([
+                    row[key_position]
+                    for row in dimension.table.scan()
+                    if tuple(row[p] for p in positions) == wanted
+                ])
+            elif provider.kind == "dim_all":
+                dimension = fact.dimension(provider.dimension_name)
+                key_position = dimension.table.schema.position(dimension.key)
+                per_column.append(
+                    [row[key_position] for row in dimension.table.scan()]
+                )
+            else:  # domain
+                per_column.append(list(fact.table.domain(provider.column) or ()))
+        return [tuple(combo) for combo in product(*per_column)]
+
+    def gather_rows(self, key: GroupKey) -> Table:
+        """Fetch the fact rows of group *key* through the index."""
+        fact_table = self.definition.fact.table
+        rows = Table(f"recompute_{self.definition.name}", fact_table.schema)
+        for candidate in self.candidate_keys(key):
+            for slot in self.index.lookup(candidate):
+                rows.insert(fact_table.row_at(slot))
+        return rows
+
+
+def plan_index_recompute(
+    definition: SummaryViewDefinition,
+) -> IndexRecomputePlan | None:
+    """Find the cheapest feasible index access path, or ``None``."""
+    fact = definition.fact
+    group_positions = {
+        attribute: position
+        for position, attribute in enumerate(definition.group_by)
+    }
+    fk_by_column = {fk.column: fk for fk in fact.foreign_keys}
+    fact_columns = set(fact.columns)
+
+    best: IndexRecomputePlan | None = None
+    for index in fact.table.indexes.values():
+        providers: list[_Provider] = []
+        feasible = True
+        for column in index.columns:
+            if column in group_positions and column in fact_columns:
+                providers.append(
+                    _Provider("fixed", group_position=group_positions[column])
+                )
+                continue
+            fk = fk_by_column.get(column)
+            if fk is not None:
+                owned = [
+                    group_positions[attribute]
+                    for attribute in definition.group_by
+                    if attribute in fk.dimension.columns
+                    and attribute not in fact_columns
+                ] if fk.dimension.name in definition.dimensions else []
+                if owned:
+                    providers.append(_Provider(
+                        "dim_attrs",
+                        dimension_name=fk.dimension.name,
+                        attr_group_positions=tuple(owned),
+                    ))
+                else:
+                    # The dimension key enumerates the column's candidate
+                    # values whether or not the view joins that dimension.
+                    providers.append(
+                        _Provider("dim_all", dimension_name=fk.dimension.name)
+                    )
+                continue
+            if fact.table.domain(column) is not None:
+                providers.append(_Provider("domain", column=column))
+                continue
+            feasible = False
+            break
+        if not feasible:
+            continue
+        estimate = 1.0
+        for provider in providers:
+            estimate *= provider.estimate(definition)
+        plan = IndexRecomputePlan(
+            definition=definition,
+            index=index,
+            providers=tuple(providers),
+            estimated_probes_per_group=estimate,
+        )
+        if best is None or estimate < best.estimated_probes_per_group:
+            best = plan
+    return best
+
+
+def recompute_groups_via_index(
+    plan: IndexRecomputePlan, keys: list[GroupKey]
+) -> dict[GroupKey, tuple]:
+    """Recompute the aggregate values of *keys* through the planned index."""
+    from ..relational.expressions import col as column_ref
+
+    definition = plan.definition
+    results: dict[GroupKey, tuple] = {}
+    for key in keys:
+        rows = plan.gather_rows(key)
+        if not len(rows):
+            continue
+        joined = definition.fact.join_dimensions(rows, definition.dimensions)
+        if definition.where is not None:
+            joined = select(joined, definition.where)
+        # Candidate keys constrain only the index columns; re-check full
+        # group membership so over-fetched rows never leak in.
+        group_positions = joined.schema.positions(definition.group_by)
+        evaluators: list[Callable] = []
+        reducers = []
+        for output in definition.aggregates:
+            argument = output.function.argument
+            expression = (
+                argument if argument is not None
+                else column_ref(joined.schema.columns[0])
+            )
+            evaluators.append(expression.bind(joined.schema))
+            reducers.append(output.function.base_reducer())
+        states = [reducer.create() for reducer in reducers]
+        found = False
+        for row in joined.scan():
+            if tuple(row[p] for p in group_positions) != key:
+                continue
+            found = True
+            for i, reducer in enumerate(reducers):
+                states[i] = reducer.step(states[i], evaluators[i](row))
+        if found:
+            results[key] = tuple(
+                reducer.finalize(state)
+                for reducer, state in zip(reducers, states)
+            )
+    return results

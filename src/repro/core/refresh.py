@@ -1,0 +1,406 @@
+"""The refresh function: apply a summary delta to a summary table.
+
+This is the paper's Figure 7 generalised refresh algorithm.  For each
+summary-delta tuple, the corresponding summary-table tuple (same group-by
+values) is located through the table's group-by index and then:
+
+* **inserted** when no corresponding tuple exists;
+* **deleted** when the group's new ``COUNT(*)`` reaches zero;
+* **recomputed from base data** when a MIN/MAX extremum may have been
+  deleted (see :class:`~repro.core.deltas.MinMaxPolicy` for the exact
+  trigger); or
+* **updated in place** otherwise, with per-aggregate combination rules
+  (add for counts/sums, fold for MIN/MAX) and null handling driven by the
+  companion ``COUNT(e)`` columns.
+
+Two execution variants are provided, mirroring Section 4.2's closing
+observation:
+
+* ``CURSOR`` — the embedded-SQL style of Figure 2: per delta tuple, index
+  lookup then immediate insert/update/delete;
+* ``OUTER_JOIN`` — the "summary-delta join" the paper says database vendors
+  should build in: all decisions are computed first against a read-only
+  view of the table, then applied in one batch.
+
+Both variants share the decision logic and produce identical final states.
+
+Engineering note on recomputation: Figure 7 recomputes a group "from the
+base data for t's group" — in the paper's RDBMS that is one query per
+group.  Issuing one scan per group would distort our cost model (we have no
+optimizer to pick per-group index plans for arbitrary dimension attributes),
+so recomputation is *batched*: all groups flagged for recompute in one
+refresh are recomputed in a single pass over the base data.  The result is
+identical; only the access pattern differs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import InconsistentDeltaError, MaintenanceError
+from ..relational.table import Row
+from ..relational.types import null_max, null_min
+from ..views.definition import SummaryViewDefinition
+from ..views.materialize import MaterializedView
+from .deltas import MinMaxPolicy, SummaryDelta, del_column, ins_column
+
+GroupKey = tuple[Any, ...]
+#: Batched recompute callback: group keys -> recomputed aggregate values
+#: (one tuple of aggregate-column values per surviving group).
+RecomputeFn = Callable[[list[GroupKey]], dict[GroupKey, tuple[Any, ...]]]
+
+
+class RefreshVariant(enum.Enum):
+    """How refresh decisions are executed (same decisions either way)."""
+
+    CURSOR = "cursor"
+    OUTER_JOIN = "outer_join"
+
+
+@dataclass
+class RefreshStats:
+    """What one refresh run did to a summary table."""
+
+    delta_rows: int = 0
+    inserted: int = 0
+    updated: int = 0
+    deleted: int = 0
+    recomputed: int = 0
+
+    @property
+    def touched(self) -> int:
+        return self.inserted + self.updated + self.deleted + self.recomputed
+
+    def __add__(self, other: "RefreshStats") -> "RefreshStats":
+        return RefreshStats(
+            delta_rows=self.delta_rows + other.delta_rows,
+            inserted=self.inserted + other.inserted,
+            updated=self.updated + other.updated,
+            deleted=self.deleted + other.deleted,
+            recomputed=self.recomputed + other.recomputed,
+        )
+
+
+@dataclass(frozen=True)
+class _MinMaxColumn:
+    """Refresh metadata for one MIN/MAX aggregate column."""
+
+    storage_index: int      # position in the view's storage schema
+    is_min: bool
+    count_index: int        # position of the governing COUNT(e) column
+    delta_ins_index: int    # SPLIT policy: insertion-side delta column
+    delta_del_index: int    # SPLIT policy: deletion-side delta column
+
+
+@dataclass(frozen=True)
+class _SummableColumn:
+    """Refresh metadata for a COUNT/SUM aggregate column."""
+
+    storage_index: int
+    is_sum: bool            # SUM(e): governed by COUNT(e); COUNTs are not
+    count_index: int        # governing COUNT(e) position (-1 for counts)
+
+
+class RefreshPlan:
+    """Positional metadata compiled once per (definition, policy) pair."""
+
+    def __init__(self, definition: SummaryViewDefinition, policy: MinMaxPolicy):
+        storage = definition.storage_schema()
+        self.group_arity = len(definition.group_by)
+        self.n_columns = len(storage)
+        self.count_star_index = storage.position(definition.count_star_column())
+        self.policy = policy
+
+        self.summable: list[_SummableColumn] = []
+        self.minmax: list[_MinMaxColumn] = []
+        delta = None
+        for output in definition.aggregates:
+            position = storage.position(output.name)
+            kind = output.function.kind
+            if kind in ("count_star", "count"):
+                self.summable.append(_SummableColumn(position, is_sum=False, count_index=-1))
+            elif kind == "sum":
+                count_name = definition.count_column_for(output.function.argument)
+                if count_name is None:
+                    raise MaintenanceError(
+                        f"view {definition.name!r}: SUM column {output.name!r} "
+                        "has no companion COUNT(e); resolve the definition first"
+                    )
+                self.summable.append(
+                    _SummableColumn(position, is_sum=True,
+                                    count_index=storage.position(count_name))
+                )
+            elif kind in ("min", "max"):
+                count_name = definition.count_column_for(output.function.argument)
+                if count_name is None:
+                    raise MaintenanceError(
+                        f"view {definition.name!r}: {kind.upper()} column "
+                        f"{output.name!r} has no companion COUNT(e); resolve "
+                        "the definition first"
+                    )
+                if policy is MinMaxPolicy.SPLIT:
+                    from .deltas import delta_schema
+
+                    delta = delta or delta_schema(definition, policy)
+                    ins_index = delta.position(ins_column(output.name))
+                    del_index = delta.position(del_column(output.name))
+                else:
+                    ins_index = del_index = -1
+                self.minmax.append(
+                    _MinMaxColumn(
+                        storage_index=position,
+                        is_min=(kind == "min"),
+                        count_index=storage.position(count_name),
+                        delta_ins_index=ins_index,
+                        delta_del_index=del_index,
+                    )
+                )
+            else:
+                raise MaintenanceError(
+                    f"view {definition.name!r}: cannot refresh aggregate kind "
+                    f"{kind!r}"
+                )
+
+
+@dataclass
+class RefreshActions:
+    """Deferred refresh actions (used by both variants for recompute, and
+    by the OUTER_JOIN variant for everything)."""
+
+    inserts: list[Row] = field(default_factory=list)
+    deletes: list[int] = field(default_factory=list)
+    updates: list[tuple[int, Row]] = field(default_factory=list)
+    #: (slot, key); slot is None when the recomputed group is new to the
+    #: view and its result must be inserted rather than updated in place.
+    recomputes: list[tuple[int | None, GroupKey]] = field(default_factory=list)
+
+
+def decide(
+    plan: RefreshPlan,
+    definition_name: str,
+    old_row: Row | None,
+    delta_row: Row,
+    key: GroupKey,
+    slot: int | None,
+    actions: RefreshActions,
+) -> None:
+    """Classify one delta tuple into an action (Figure 7's per-tuple body)."""
+    g = plan.group_arity
+    cs = plan.count_star_index
+
+    if old_row is None:
+        delta_count_star = delta_row[cs]
+        if delta_count_star == 0:
+            # A perfectly cancelled delta on a group absent from the view —
+            # possible under combined fact+dimension changes (§4.1.4 cross
+            # terms): a no-op, not an error.
+            return
+        if delta_count_star is None or delta_count_star < 0:
+            raise InconsistentDeltaError(
+                f"view {definition_name!r}: delta for new group {key!r} has "
+                f"COUNT(*) {delta_count_star!r}; deletions cannot apply to a "
+                "group absent from the view"
+            )
+        if plan.policy is MinMaxPolicy.SPLIT:
+            # A deletion-side footprint on a NEW group means contributions
+            # were cancelled (dimension-change cross terms); the net
+            # extremum cannot be derived from the delta — recompute the
+            # whole group from base data and insert the result.
+            if any(
+                delta_row[column.delta_del_index] is not None
+                for column in plan.minmax
+            ):
+                actions.recomputes.append((None, key))
+                return
+            new_row = list(delta_row[: plan.n_columns])
+            for column in plan.minmax:
+                new_row[column.storage_index] = delta_row[column.delta_ins_index]
+            actions.inserts.append(tuple(new_row))
+        else:
+            actions.inserts.append(tuple(delta_row[: plan.n_columns]))
+        return
+
+    new_count_star = old_row[cs] + delta_row[cs]
+    if new_count_star < 0:
+        raise InconsistentDeltaError(
+            f"view {definition_name!r}: group {key!r} COUNT(*) would become "
+            f"{new_count_star}"
+        )
+    if new_count_star == 0:
+        actions.deletes.append(slot)
+        return
+
+    # MIN/MAX recompute check (Figure 7).
+    for column in plan.minmax:
+        old_extreme = old_row[column.storage_index]
+        if old_extreme is None:
+            continue
+        new_count_e = old_row[column.count_index] + delta_row[column.count_index]
+        if new_count_e <= 0:
+            continue
+        if plan.policy is MinMaxPolicy.SPLIT:
+            threat = delta_row[column.delta_del_index]
+        else:
+            threat = delta_row[column.storage_index]
+        if threat is None:
+            continue
+        beats = threat <= old_extreme if column.is_min else threat >= old_extreme
+        if beats:
+            actions.recomputes.append((slot, key))
+            return
+
+    # Plain in-place update.
+    new_row = list(old_row)
+    new_row[cs] = new_count_star
+    for column in plan.summable:
+        if column.storage_index == cs:
+            continue
+        old_value = old_row[column.storage_index]
+        delta_value = delta_row[column.storage_index]
+        if column.is_sum:
+            new_count_e = old_row[column.count_index] + delta_row[column.count_index]
+            if new_count_e == 0:
+                new_row[column.storage_index] = None
+            elif delta_value is None:
+                new_row[column.storage_index] = old_value
+            elif old_value is None:
+                new_row[column.storage_index] = delta_value
+            else:
+                new_row[column.storage_index] = old_value + delta_value
+        else:
+            new_row[column.storage_index] = old_value + delta_value
+    for column in plan.minmax:
+        new_count_e = old_row[column.count_index] + delta_row[column.count_index]
+        if new_count_e == 0:
+            new_row[column.storage_index] = None
+            continue
+        if plan.policy is MinMaxPolicy.SPLIT:
+            incoming = delta_row[column.delta_ins_index]
+        else:
+            incoming = delta_row[column.storage_index]
+        fold = null_min if column.is_min else null_max
+        new_row[column.storage_index] = fold(
+            old_row[column.storage_index], incoming
+        )
+    actions.updates.append((slot, tuple(new_row)))
+
+
+def refresh(
+    view: MaterializedView,
+    delta: SummaryDelta,
+    recompute: RecomputeFn | None = None,
+    variant: RefreshVariant = RefreshVariant.CURSOR,
+    assume_all_new: bool = False,
+) -> RefreshStats:
+    """Apply *delta* to *view* (paper, Figure 7); return what was done.
+
+    *recompute* supplies batched base-data recomputation for MIN/MAX; it is
+    required only when the view has MIN/MAX aggregates and a deletion (or,
+    under the PAPER policy, any change) threatens a stored extremum.  It is
+    called against the *updated* base data, per the paper's assumption that
+    base-table changes are applied before refresh.
+
+    *assume_all_new* is the integrity-constraint optimisation the paper
+    alludes to in §2.1: when the caller *knows* every delta group is absent
+    from the view — e.g. new-date insertions into a view grouping by date —
+    the per-tuple index lookup is skipped and all delta rows are
+    bulk-inserted.  Using it when the assumption is false silently corrupts
+    the view (detectable afterwards with ``Warehouse.verify_views``); it is
+    never enabled implicitly.
+    """
+    if delta.definition.name != view.definition.name:
+        raise MaintenanceError(
+            f"delta for {delta.definition.name!r} applied to view "
+            f"{view.definition.name!r}"
+        )
+    plan = RefreshPlan(view.definition, delta.policy)
+    stats = RefreshStats(delta_rows=len(delta.table))
+    index = view.group_key_index()
+    actions = RefreshActions()
+    name = view.definition.name
+    g = plan.group_arity
+
+    if assume_all_new:
+        for delta_row in delta.table.scan():
+            key = delta_row[:g]
+            local = RefreshActions()
+            decide(plan, name, None, delta_row, key, None, local)
+            for row in local.inserts:
+                view.table.insert(row)
+                stats.inserted += 1
+            actions.recomputes.extend(local.recomputes)
+        if actions.recomputes:
+            raise MaintenanceError(
+                f"view {name!r}: assume_all_new refresh hit groups needing "
+                "base-data recomputation; the all-new assumption is unsafe "
+                "for this delta"
+            )
+        return stats
+
+    if variant is RefreshVariant.CURSOR:
+        # Per-tuple: look up, decide, apply immediately (recompute deferred —
+        # see the module docstring).
+        for delta_row in delta.table.scan():
+            key = delta_row[:g]
+            slot = index.lookup_one(key) if index is not None else _global_slot(view)
+            old_row = view.table.row_at(slot) if slot is not None else None
+            local = RefreshActions()
+            decide(plan, name, old_row, delta_row, key, slot, local)
+            for row in local.inserts:
+                view.table.insert(row)
+                stats.inserted += 1
+            for doomed in local.deletes:
+                view.table.delete_slot(doomed)
+                stats.deleted += 1
+            for update_slot, new_row in local.updates:
+                view.table.update_slot(update_slot, new_row)
+                stats.updated += 1
+            actions.recomputes.extend(local.recomputes)
+    else:
+        for delta_row in delta.table.scan():
+            key = delta_row[:g]
+            slot = index.lookup_one(key) if index is not None else _global_slot(view)
+            old_row = view.table.row_at(slot) if slot is not None else None
+            decide(plan, name, old_row, delta_row, key, slot, actions)
+        for row in actions.inserts:
+            view.table.insert(row)
+            stats.inserted += 1
+        for doomed in actions.deletes:
+            view.table.delete_slot(doomed)
+            stats.deleted += 1
+        for update_slot, new_row in actions.updates:
+            view.table.update_slot(update_slot, new_row)
+            stats.updated += 1
+
+    if actions.recomputes:
+        if recompute is None:
+            raise MaintenanceError(
+                f"view {name!r}: refresh needs base-data recomputation for "
+                f"{len(actions.recomputes)} group(s) but no recompute source "
+                "was provided"
+            )
+        keys = [key for _slot, key in actions.recomputes]
+        recomputed = recompute(keys)
+        for slot, key in actions.recomputes:
+            values = recomputed.get(key)
+            if values is None:
+                raise InconsistentDeltaError(
+                    f"view {name!r}: group {key!r} flagged for recomputation "
+                    "has no base rows, but its COUNT(*) is positive"
+                )
+            if slot is None:
+                view.table.insert(key + values)
+            else:
+                view.table.update_slot(slot, key + values)
+            stats.recomputed += 1
+    return stats
+
+
+def _global_slot(view: MaterializedView) -> int | None:
+    """Slot of the single row of a no-group-by view, or ``None``."""
+    for slot, row in enumerate(view.table._rows):  # noqa: SLF001
+        if row is not None:
+            return slot
+    return None

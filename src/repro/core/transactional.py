@@ -1,0 +1,170 @@
+"""Atomic refresh: all-or-nothing application of a summary delta.
+
+The paper assumes refresh runs inside an exclusive batch window, but a
+production warehouse also needs refresh to be *atomic*: if the process
+dies mid-refresh, readers must never see a summary table with half the
+delta applied.  :func:`refresh_atomically` provides that guarantee on the
+in-memory engine with an undo log:
+
+1. decisions are computed first, read-only (the OUTER_JOIN discipline);
+2. MIN/MAX recomputations run *before* any view mutation (they read base
+   data, which is independent of the view);
+3. mutations are applied one by one, each recording its inverse;
+4. any failure rolls the log back in reverse order, restoring the exact
+   pre-refresh contents.
+
+The failure hook exists for fault-injection tests: it is invoked before
+every mutation with the step index and may raise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import InconsistentDeltaError, MaintenanceError
+from ..views.materialize import MaterializedView
+from .deltas import SummaryDelta
+from .refresh import (
+    RecomputeFn,
+    RefreshActions,
+    RefreshPlan,
+    RefreshStats,
+    decide,
+)
+
+FailureHook = Callable[[int], None]
+
+
+class UndoLog:
+    """Inverse operations for the mutations applied so far."""
+
+    def __init__(self, view: MaterializedView):
+        self._view = view
+        self._entries: list[tuple[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record_insert(self, slot: int) -> None:
+        self._entries.append(("insert", slot))
+
+    def record_delete(self, old_row: tuple) -> None:
+        self._entries.append(("delete", old_row))
+
+    def record_update(self, slot: int, old_row: tuple) -> None:
+        self._entries.append(("update", (slot, old_row)))
+
+    def rollback(self) -> None:
+        """Undo everything, most recent first."""
+        table = self._view.table
+        for kind, payload in reversed(self._entries):
+            if kind == "insert":
+                table.delete_slot(payload)
+            elif kind == "delete":
+                table.insert(payload)
+            else:
+                slot, old_row = payload
+                table.update_slot(slot, old_row)
+        self._entries.clear()
+
+
+def refresh_atomically(
+    view: MaterializedView,
+    delta: SummaryDelta,
+    recompute: RecomputeFn | None = None,
+    failure_hook: FailureHook | None = None,
+) -> RefreshStats:
+    """Apply *delta* to *view* atomically; roll back on any failure.
+
+    Semantically identical to
+    :func:`repro.core.refresh.refresh` — the decision logic is shared —
+    but mutations are journaled and reverted if anything (including the
+    injected *failure_hook*) raises.
+    """
+    if delta.definition.name != view.definition.name:
+        raise MaintenanceError(
+            f"delta for {delta.definition.name!r} applied to view "
+            f"{view.definition.name!r}"
+        )
+    plan = RefreshPlan(view.definition, delta.policy)
+    stats = RefreshStats(delta_rows=len(delta.table))
+    index = view.group_key_index()
+    arity = plan.group_arity
+    name = view.definition.name
+
+    # Phase 1: read-only decisions.
+    actions = RefreshActions()
+    for delta_row in delta.table.scan():
+        key = delta_row[:arity]
+        if index is not None:
+            slot = index.lookup_one(key)
+        else:
+            slot = next(
+                (s for s, row in enumerate(view.table._rows)  # noqa: SLF001
+                 if row is not None),
+                None,
+            )
+        old_row = view.table.row_at(slot) if slot is not None else None
+        decide(plan, name, old_row, delta_row, key, slot, actions)
+
+    # Phase 2: resolve recomputations before touching the view.
+    recomputed_rows: list[tuple[int | None, tuple]] = []
+    if actions.recomputes:
+        if recompute is None:
+            raise MaintenanceError(
+                f"view {name!r}: refresh needs base-data recomputation but "
+                "no recompute source was provided"
+            )
+        keys = [key for _slot, key in actions.recomputes]
+        fresh = recompute(keys)
+        for slot, key in actions.recomputes:
+            values = fresh.get(key)
+            if values is None:
+                raise InconsistentDeltaError(
+                    f"view {name!r}: group {key!r} flagged for recomputation "
+                    "has no base rows, but its COUNT(*) is positive"
+                )
+            recomputed_rows.append((slot, key + values))
+
+    # Phase 3: journaled application.
+    undo = UndoLog(view)
+    step = 0
+    try:
+        for row in actions.inserts:
+            if failure_hook is not None:
+                failure_hook(step)
+            slot = view.table.insert(row)
+            undo.record_insert(slot)
+            stats.inserted += 1
+            step += 1
+        for slot in actions.deletes:
+            if failure_hook is not None:
+                failure_hook(step)
+            old_row = view.table.delete_slot(slot)
+            undo.record_delete(old_row)
+            stats.deleted += 1
+            step += 1
+        for slot, new_row in actions.updates:
+            if failure_hook is not None:
+                failure_hook(step)
+            old_row = view.table.row_at(slot)
+            view.table.update_slot(slot, new_row)
+            undo.record_update(slot, old_row)
+            stats.updated += 1
+            step += 1
+        for slot, new_row in recomputed_rows:
+            if failure_hook is not None:
+                failure_hook(step)
+            if slot is None:
+                inserted_at = view.table.insert(new_row)
+                undo.record_insert(inserted_at)
+            else:
+                old_row = view.table.row_at(slot)
+                view.table.update_slot(slot, new_row)
+                undo.record_update(slot, old_row)
+            stats.recomputed += 1
+            step += 1
+    except BaseException:
+        undo.rollback()
+        raise
+    return stats

@@ -1,0 +1,21 @@
+"""Warehouse persistence (JSON-lines tables + a schema manifest)."""
+
+from .persist import (
+    PersistenceError,
+    aggregate_from_json,
+    aggregate_to_json,
+    expression_from_json,
+    expression_to_json,
+    load_warehouse,
+    save_warehouse,
+)
+
+__all__ = [
+    "PersistenceError",
+    "aggregate_from_json",
+    "aggregate_to_json",
+    "expression_from_json",
+    "expression_to_json",
+    "load_warehouse",
+    "save_warehouse",
+]

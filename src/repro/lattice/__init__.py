@@ -1,0 +1,69 @@
+"""Lattice machinery: cube lattices, the derives relation, D-lattices,
+multi-view maintenance plans, and HRU view selection."""
+
+from .cube import (
+    bottom,
+    combined_lattice,
+    cube_lattice,
+    grouping_label,
+    hierarchy_chain,
+    remove_node,
+    restrict_to,
+    top,
+)
+from .derives import EdgeQuery, derive, try_derive
+from .dlattice import check_theorem_5_1, delta_name, summary_delta_lattice
+from .optimize import (
+    align_aggregates,
+    make_lattice_friendly,
+    widen_with_determined_attributes,
+)
+from .plan import (
+    LatticeMaintenanceResult,
+    build_lattice_for_views,
+    maintain_lattice,
+    propagate_lattice,
+    propagate_without_lattice,
+    refresh_lattice,
+    rematerialize_with_lattice,
+)
+from .selection import (
+    SelectionResult,
+    SelectionStep,
+    exact_node_sizes,
+    greedy_select,
+)
+from .vlattice import PlanNode, ViewLattice
+
+__all__ = [
+    "EdgeQuery",
+    "LatticeMaintenanceResult",
+    "PlanNode",
+    "SelectionResult",
+    "SelectionStep",
+    "ViewLattice",
+    "align_aggregates",
+    "bottom",
+    "build_lattice_for_views",
+    "check_theorem_5_1",
+    "combined_lattice",
+    "cube_lattice",
+    "delta_name",
+    "derive",
+    "exact_node_sizes",
+    "greedy_select",
+    "grouping_label",
+    "hierarchy_chain",
+    "maintain_lattice",
+    "make_lattice_friendly",
+    "propagate_lattice",
+    "propagate_without_lattice",
+    "refresh_lattice",
+    "rematerialize_with_lattice",
+    "remove_node",
+    "restrict_to",
+    "summary_delta_lattice",
+    "top",
+    "try_derive",
+    "widen_with_determined_attributes",
+]

@@ -1,0 +1,135 @@
+"""Lattice-friendly view rewriting and join placement (Sections 5.2–5.3).
+
+Two transformations the paper uses to make a given set of summary tables fit
+a fuller lattice:
+
+* :func:`widen_with_determined_attributes` adds to a view's group-by list
+  every dimension-hierarchy attribute functionally determined by an
+  existing group-by attribute (grouping by ``(city)`` equals grouping by
+  ``(city, region)``), joining the owning dimension when needed.  This is
+  how ``sCD_sales`` gains ``region`` in the paper so that ``sR_sales`` can
+  later be derived from it without re-joining ``stores`` (Example 5.3 /
+  Figure 8).
+
+* :func:`align_aggregates` gives every view in a set all aggregate
+  functions computed by any view in the set, where expressible over that
+  view's source columns (Example 5.2's "same aggregation functions in all
+  views").
+
+Join *push-down* (Section 5.3) itself needs no transformation here: edge
+queries annotate each lattice edge with exactly the dimension joins it
+needs, so a join happens at the lowest point where its attributes are first
+required.  The ablation benchmark compares that plan against the
+"join-everything-at-the-top" alternative produced by these rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..errors import DefinitionError
+from ..views.definition import AggregateOutput, SummaryViewDefinition
+
+
+def widen_with_determined_attributes(
+    definition: SummaryViewDefinition,
+) -> SummaryViewDefinition:
+    """Add every hierarchy attribute determined by current group-bys.
+
+    For each group-by attribute that is a level of some dimension hierarchy
+    (including the dimension key itself, reachable through the fact table's
+    foreign key), all coarser levels of that hierarchy are appended to the
+    group-by list, and the owning dimension is joined when not already.
+    The result groups identically (functional dependencies), so the view's
+    group count is unchanged.
+    """
+    group_by = list(definition.group_by)
+    dimensions = list(definition.dimensions)
+
+    for fk in definition.fact.foreign_keys:
+        hierarchy = fk.dimension.hierarchy
+        # The fact-side foreign key is synonymous with the hierarchy key.
+        anchors = [
+            attribute for attribute in group_by
+            if attribute in hierarchy
+            or (attribute == fk.column and hierarchy.key == fk.dimension.key)
+        ]
+        if not anchors:
+            continue
+        finest = min(
+            (hierarchy.depth_of(a) if a in hierarchy else 0) for a in anchors
+        )
+        determined = hierarchy.levels[finest + 1:]
+        added = [attribute for attribute in determined if attribute not in group_by]
+        if added:
+            group_by.extend(added)
+            if fk.dimension.name not in dimensions:
+                dimensions.append(fk.dimension.name)
+
+    widened = replace(
+        definition,
+        group_by=tuple(group_by),
+        dimensions=tuple(dimensions),
+    )
+    widened.validate()
+    return widened
+
+
+def align_aggregates(
+    definitions: Sequence[SummaryViewDefinition],
+) -> list[SummaryViewDefinition]:
+    """Give every view all aggregates computed by any view in the set.
+
+    An aggregate is copied into a view when its argument's columns exist in
+    that view's source relation (fact ⋈ its dimensions).  Column names are
+    taken from the first view that computed the aggregate; on a name clash
+    with a different aggregate, a numeric suffix is appended.
+    """
+    universe: list[AggregateOutput] = []
+    seen_functions = set()
+    for definition in definitions:
+        for output in definition.aggregates:
+            if output.function not in seen_functions:
+                seen_functions.add(output.function)
+                universe.append(output)
+
+    aligned: list[SummaryViewDefinition] = []
+    for definition in definitions:
+        available = set(definition.source_columns())
+        outputs = list(definition.aggregates)
+        present = {output.function for output in outputs}
+        names = set(definition.group_by) | {output.name for output in outputs}
+        for candidate in universe:
+            if candidate.function in present:
+                continue
+            if not candidate.function.referenced_columns() <= available:
+                continue
+            name = candidate.name
+            suffix = 2
+            while name in names:
+                name = f"{candidate.name}{suffix}"
+                suffix += 1
+            names.add(name)
+            outputs.append(
+                AggregateOutput(name, candidate.function, synthetic=candidate.synthetic)
+            )
+            present.add(candidate.function)
+        updated = replace(definition, aggregates=tuple(outputs))
+        updated.validate()
+        aligned.append(updated)
+    return aligned
+
+
+def make_lattice_friendly(
+    definitions: Sequence[SummaryViewDefinition],
+) -> list[SummaryViewDefinition]:
+    """Section 5.2 end-to-end: widen group-bys, then align aggregates.
+
+    The returned definitions are *not* resolved; callers normally follow
+    with ``.resolved()`` before materialising.
+    """
+    if not definitions:
+        raise DefinitionError("make_lattice_friendly needs at least one view")
+    widened = [widen_with_determined_attributes(d) for d in definitions]
+    return align_aggregates(widened)

@@ -1,0 +1,228 @@
+"""Multi-view maintenance: propagate and refresh a whole lattice.
+
+This is the paper's Section 5.5 put together:
+
+* :func:`propagate_lattice` computes every summary delta in topological
+  order — roots directly from the change set, every other view's delta from
+  its parent's delta through the shared edge query (Theorem 5.1).  Because
+  a summary delta is already aggregated, deriving from it touches far fewer
+  tuples than re-deriving from the raw changes: this is the gap between the
+  solid and dotted "Propagate" lines of Figure 9.
+* :func:`propagate_without_lattice` is the dotted-line baseline — every
+  delta computed independently from the change set.
+* :func:`refresh_lattice` refreshes every materialised view from its delta
+  (order is immaterial; refresh never reads other summary tables).
+* :func:`maintain_lattice` is the nightly driver: propagate online, apply
+  base changes offline, refresh offline.
+* :func:`rematerialize_with_lattice` is the paper's "Rematerialize" series:
+  recompute the roots from base data and derive every other view from its
+  parent, all inside the batch window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.deltas import SummaryDelta
+from ..core.maintenance import base_recompute_fn
+from ..core.propagate import PropagateOptions, compute_summary_delta
+from ..core.refresh import RefreshStats, RefreshVariant, refresh
+from ..errors import LatticeError, MaintenanceError
+from ..views.materialize import MaterializedView, compute_rows
+from ..warehouse.batch import BatchReport, BatchWindowClock
+from ..warehouse.changes import ChangeSet
+from .vlattice import ViewLattice
+
+
+def build_lattice_for_views(
+    views: Sequence[MaterializedView],
+) -> ViewLattice:
+    """Build a V-lattice for materialised views, using their current row
+    counts as the size hints for cost-based parent selection."""
+    definitions = [view.definition for view in views]
+    size_hints = {view.name: len(view.table) for view in views}
+    return ViewLattice.build(definitions, size_hints=size_hints)
+
+
+def propagate_lattice(
+    lattice: ViewLattice,
+    changes: ChangeSet,
+    options: PropagateOptions = PropagateOptions(),
+    clock: BatchWindowClock | None = None,
+) -> dict[str, SummaryDelta]:
+    """Compute all summary deltas, exploiting the D-lattice."""
+    clock = clock or BatchWindowClock()
+    deltas: dict[str, SummaryDelta] = {}
+    for name in lattice.order:
+        node = lattice.node(name)
+        with clock.online(f"propagate:{name}"):
+            if node.is_root:
+                deltas[name] = compute_summary_delta(
+                    node.definition, changes, options
+                )
+            else:
+                parent_delta = deltas.get(node.parent)
+                if parent_delta is None:
+                    raise LatticeError(
+                        f"parent delta {node.parent!r} missing for {name!r}"
+                    )
+                rows = node.edge.apply_delta(parent_delta.table, options.policy)
+                deltas[name] = SummaryDelta(node.definition, rows, options.policy)
+    return deltas
+
+
+def propagate_without_lattice(
+    definitions: Sequence,
+    changes: ChangeSet,
+    options: PropagateOptions = PropagateOptions(),
+    clock: BatchWindowClock | None = None,
+) -> dict[str, SummaryDelta]:
+    """Baseline: compute every delta directly from the change set."""
+    clock = clock or BatchWindowClock()
+    deltas: dict[str, SummaryDelta] = {}
+    for definition in definitions:
+        with clock.online(f"propagate-direct:{definition.name}"):
+            deltas[definition.name] = compute_summary_delta(
+                definition, changes, options
+            )
+    return deltas
+
+
+def refresh_lattice(
+    views: Mapping[str, MaterializedView],
+    deltas: Mapping[str, SummaryDelta],
+    variant: RefreshVariant = RefreshVariant.CURSOR,
+    clock: BatchWindowClock | None = None,
+) -> dict[str, RefreshStats]:
+    """Refresh every view from its delta (inside the batch window)."""
+    clock = clock or BatchWindowClock()
+    stats: dict[str, RefreshStats] = {}
+    for name, view in views.items():
+        delta = deltas.get(name)
+        if delta is None:
+            raise MaintenanceError(f"no summary delta computed for view {name!r}")
+        with clock.offline(f"refresh:{name}"):
+            stats[name] = refresh(
+                view,
+                delta,
+                recompute=base_recompute_fn(view.definition),
+                variant=variant,
+            )
+    return stats
+
+
+@dataclass
+class LatticeMaintenanceResult:
+    """Outcome of one full nightly maintenance run."""
+
+    deltas: dict[str, SummaryDelta] = field(default_factory=dict)
+    stats: dict[str, RefreshStats] = field(default_factory=dict)
+    report: BatchReport = field(default_factory=BatchReport)
+
+    @property
+    def propagate_seconds(self) -> float:
+        return self.report.online_seconds
+
+    @property
+    def refresh_seconds(self) -> float:
+        return sum(
+            phase.seconds
+            for phase in self.report.phases
+            if phase.offline and phase.name.startswith("refresh:")
+        )
+
+
+def maintain_lattice(
+    views: Sequence[MaterializedView],
+    changes: ChangeSet,
+    options: PropagateOptions = PropagateOptions(),
+    variant: RefreshVariant = RefreshVariant.CURSOR,
+    use_lattice: bool = True,
+    lattice: ViewLattice | None = None,
+    apply_base_changes: bool = True,
+    auxiliary: Sequence = (),
+    clock: BatchWindowClock | None = None,
+) -> LatticeMaintenanceResult:
+    """Nightly summary-delta maintenance for a set of views.
+
+    All views must aggregate the same fact table, the one *changes* applies
+    to.  ``use_lattice=False`` gives the paper's propagate-without-lattice
+    baseline while keeping refresh identical.
+
+    *auxiliary* accepts extra view *definitions* that are not materialised:
+    their summary deltas are computed and placed in the lattice so that
+    several materialised views can derive from one shared intermediate —
+    the partially-materialised-lattice idea of Section 3.4 applied to the
+    D-lattice.  Auxiliary deltas are never refreshed into any table.
+    """
+    if not views:
+        raise MaintenanceError("no views to maintain")
+    fact = views[0].definition.fact
+    if any(view.definition.fact is not fact for view in views):
+        raise MaintenanceError(
+            "views span multiple fact tables; maintain each fact table's "
+            "views separately"
+        )
+    clock = clock or BatchWindowClock()
+    views_by_name = {view.name: view for view in views}
+
+    if use_lattice:
+        if lattice is None:
+            definitions = [view.definition for view in views]
+            size_hints = {view.name: len(view.table) for view in views}
+            for definition in auxiliary:
+                resolved = (
+                    definition if definition.is_resolved()
+                    else definition.resolved()
+                )
+                if resolved.name in views_by_name:
+                    raise MaintenanceError(
+                        f"auxiliary node {resolved.name!r} clashes with a "
+                        "materialised view"
+                    )
+                definitions.append(resolved)
+            lattice = ViewLattice.build(definitions, size_hints=size_hints)
+        deltas = propagate_lattice(lattice, changes, options, clock)
+        deltas = {
+            name: delta for name, delta in deltas.items()
+            if name in views_by_name
+        }
+    else:
+        deltas = propagate_without_lattice(
+            [view.definition for view in views], changes, options, clock
+        )
+
+    if apply_base_changes:
+        with clock.offline("apply-base"):
+            changes.apply_to(views[0].definition.fact.table)
+
+    stats = refresh_lattice(views_by_name, deltas, variant, clock)
+    return LatticeMaintenanceResult(deltas=deltas, stats=stats, report=clock.report)
+
+
+def rematerialize_with_lattice(
+    views: Sequence[MaterializedView],
+    lattice: ViewLattice | None = None,
+    clock: BatchWindowClock | None = None,
+) -> BatchReport:
+    """Recompute all views inside the batch window, deriving along the
+    lattice (the paper's "Rematerialize" series)."""
+    clock = clock or BatchWindowClock()
+    lattice = lattice or build_lattice_for_views(views)
+    views_by_name = {view.name: view for view in views}
+    fresh: dict[str, MaterializedView] = {}
+    for name in lattice.order:
+        node = lattice.node(name)
+        view = views_by_name.get(name)
+        if view is None:
+            raise MaintenanceError(f"lattice mentions unknown view {name!r}")
+        with clock.offline(f"rematerialize:{name}"):
+            if node.is_root:
+                rows = compute_rows(node.definition)
+            else:
+                rows = node.edge.apply(fresh[node.parent].table)
+            view.table.truncate()
+            view.table.insert_many(rows.scan())
+            fresh[name] = view
+    return clock.report

@@ -1,0 +1,167 @@
+"""Placing summary tables into a (partially-materialised) V-lattice.
+
+Given a set of resolved view definitions, :class:`ViewLattice` computes the
+derives relation between every pair (Section 5.1), reduces it to its Hasse
+diagram, and picks one *derivation parent* per view — the ancestor whose
+rows (or summary-delta rows, by Theorem 5.1) the view will be computed
+from.  Views with no parent are *roots* and are computed directly from the
+base data (or, for deltas, directly from the change set).
+
+Parent choice is cost-based in the spirit of [AAD+96]/[SAG96], as
+Section 5.5 prescribes: among candidate parents the one with the smallest
+estimated input is chosen, with each dimension join annotated on the edge
+adding a small multiplicative penalty.  Pass ``size_hints`` (e.g. current
+materialised row counts) for an informed choice; without hints a proxy
+based on group-by arity is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from ..errors import LatticeError
+from ..views.definition import SummaryViewDefinition
+from .derives import EdgeQuery, try_derive
+
+#: Multiplicative cost penalty per dimension join annotated on an edge.
+JOIN_PENALTY = 1.25
+
+
+@dataclass
+class PlanNode:
+    """One view's place in the lattice plan."""
+
+    definition: SummaryViewDefinition
+    parent: str | None
+    edge: EdgeQuery | None
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+class ViewLattice:
+    """The V-lattice over a set of summary-table definitions."""
+
+    def __init__(
+        self,
+        nodes: dict[str, PlanNode],
+        order: Sequence[str],
+        graph: nx.DiGraph,
+        edges: dict[tuple[str, str], EdgeQuery],
+    ):
+        self.nodes = nodes
+        self.order = list(order)
+        self.graph = graph
+        self.edges = edges
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def build(
+        definitions: Sequence[SummaryViewDefinition],
+        size_hints: Mapping[str, int] | None = None,
+    ) -> "ViewLattice":
+        """Compute the derives relation and a derivation plan.
+
+        *definitions* must be resolved and have unique names.
+        """
+        names = [definition.name for definition in definitions]
+        if len(set(names)) != len(names):
+            raise LatticeError(f"duplicate view names: {names}")
+        by_name = {definition.name: definition for definition in definitions}
+
+        # Full derives DAG (parent -> child).
+        edges: dict[tuple[str, str], EdgeQuery] = {}
+        full = nx.DiGraph()
+        full.add_nodes_from(names)
+        for child in definitions:
+            for parent in definitions:
+                if child.name == parent.name:
+                    continue
+                edge = try_derive(child, parent)
+                if edge is not None:
+                    edges[(parent.name, child.name)] = edge
+                    full.add_edge(parent.name, child.name)
+
+        # Equivalent views (mutual derivability) would form 2-cycles; break
+        # them deterministically by keeping only the lexicographically
+        # earlier view as the parent.
+        for parent_name, child_name in list(full.edges):
+            if full.has_edge(child_name, parent_name) and parent_name > child_name:
+                full.remove_edge(parent_name, child_name)
+                edges.pop((parent_name, child_name), None)
+        if not nx.is_directed_acyclic_graph(full):
+            raise LatticeError("derives relation contains a cycle")
+
+        hasse = nx.transitive_reduction(full)
+
+        def estimated_size(name: str) -> float:
+            if size_hints is not None and name in size_hints:
+                return float(size_hints[name])
+            # Proxy: finer views (more group-by attributes) are larger.
+            return float(10 ** len(by_name[name].group_by))
+
+        nodes: dict[str, PlanNode] = {}
+        for name in names:
+            candidates = list(hasse.predecessors(name))
+            if not candidates:
+                nodes[name] = PlanNode(by_name[name], parent=None, edge=None)
+                continue
+
+            def cost(parent_name: str) -> float:
+                edge = edges[(parent_name, name)]
+                return estimated_size(parent_name) * (
+                    JOIN_PENALTY ** len(edge.dimension_joins)
+                )
+
+            best = min(sorted(candidates), key=cost)
+            nodes[name] = PlanNode(
+                by_name[name], parent=best, edge=edges[(best, name)]
+            )
+
+        order = list(nx.topological_sort(hasse))
+        return ViewLattice(nodes, order, hasse, edges)
+
+    # ------------------------------------------------------------------
+
+    def roots(self) -> list[PlanNode]:
+        """Views computed directly from base data / change sets."""
+        return [node for node in self.nodes.values() if node.is_root]
+
+    def node(self, name: str) -> PlanNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise LatticeError(f"no view named {name!r} in the lattice") from None
+
+    def parent_edges(self) -> list[EdgeQuery]:
+        """The chosen derivation edges, in topological order."""
+        return [
+            self.nodes[name].edge
+            for name in self.order
+            if self.nodes[name].edge is not None
+        ]
+
+    def describe(self) -> str:
+        """Multi-line plan description (matches the Figure 8 annotations)."""
+        lines = []
+        for name in self.order:
+            node = self.nodes[name]
+            if node.is_root:
+                lines.append(f"{name} <- base data")
+            else:
+                joins = (
+                    f" joining [{', '.join(node.edge.dimension_joins)}]"
+                    if node.edge.dimension_joins
+                    else ""
+                )
+                lines.append(f"{name} <- {node.parent}{joins}")
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""OLAP query routing: answer aggregate queries from summary tables."""
+
+from .router import AggregateQuery, QueryPlan, QueryRouter
+
+__all__ = ["AggregateQuery", "QueryPlan", "QueryRouter"]

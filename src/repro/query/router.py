@@ -1,0 +1,205 @@
+"""Answering OLAP aggregate queries from materialised summary tables.
+
+The reason warehouses maintain summary tables at all (paper, Section 1) is
+so that aggregate queries need not scan the fact table.  This module closes
+that loop: an :class:`AggregateQuery` is routed to the *cheapest*
+materialised view that can answer it — decided with the same derives
+relation (≼) used to build maintenance lattices — and evaluated by the
+corresponding lattice edge query.  Queries no view can answer fall back to
+the base data.
+
+Example::
+
+    router = QueryRouter(warehouse)
+    result = router.answer(AggregateQuery.create(
+        pos, group_by=["region"],
+        aggregates=[("units", Sum(col("qty")))]))
+    print(router.explain(query))   # "answered from sR_sales (5 rows)"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..aggregates.base import AggregateFunction
+from ..errors import DefinitionError
+from ..lattice.derives import EdgeQuery, try_derive
+from ..relational.schema import Schema
+from ..relational.table import Table
+from ..views.definition import SummaryViewDefinition
+from ..views.materialize import MaterializedView, compute_rows
+from ..warehouse.catalog import Warehouse
+from ..warehouse.fact import FactTable
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """A single-block aggregate query over a star schema.
+
+    Structurally this is a view definition that will never be materialised;
+    reusing :class:`~repro.views.definition.SummaryViewDefinition` gives the
+    query the full validation and derivation machinery for free.
+    """
+
+    definition: SummaryViewDefinition
+
+    @staticmethod
+    def create(
+        fact: FactTable,
+        group_by: Iterable[str],
+        aggregates: Iterable[tuple[str, AggregateFunction]],
+        dimensions: Iterable[str] = (),
+    ) -> "AggregateQuery":
+        """Build and validate a query.  Dimension joins are inferred from
+        the referenced attributes when *dimensions* is omitted."""
+        group_by = tuple(group_by)
+        aggregates = tuple(aggregates)
+        dimensions = tuple(dimensions)
+        if not dimensions:
+            dimensions = _infer_dimensions(fact, group_by, aggregates)
+        definition = SummaryViewDefinition.create(
+            "__query__", fact, group_by, aggregates, dimensions
+        )
+        return AggregateQuery(definition)
+
+    def user_columns(self) -> tuple[str, ...]:
+        return tuple(self.definition.group_by) + tuple(
+            output.name for output in self.definition.aggregates
+        )
+
+
+def _infer_dimensions(
+    fact: FactTable,
+    group_by: tuple[str, ...],
+    aggregates: tuple[tuple[str, AggregateFunction], ...],
+) -> tuple[str, ...]:
+    """Which dimension tables are needed to supply the referenced columns."""
+    needed: set[str] = set(group_by)
+    for _name, function in aggregates:
+        needed |= function.referenced_columns()
+    needed -= set(fact.columns)
+    dimensions: list[str] = []
+    for fk in fact.foreign_keys:
+        own = set(fk.dimension.columns) - set(fact.columns)
+        if needed & own:
+            dimensions.append(fk.dimension.name)
+            needed -= own
+    if needed:
+        raise DefinitionError(
+            f"query references unknown attributes {sorted(needed)}"
+        )
+    return tuple(dimensions)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Where a query will be answered and how much input it reads."""
+
+    query: AggregateQuery
+    source_view: MaterializedView | None   # None = fall back to base data
+    edge: EdgeQuery | None
+    input_rows: int
+
+    @property
+    def uses_summary_table(self) -> bool:
+        return self.source_view is not None
+
+    def describe(self) -> str:
+        if self.source_view is None:
+            return f"answered from base data ({self.input_rows:,} fact rows)"
+        joins = (
+            f" joining [{', '.join(self.edge.dimension_joins)}]"
+            if self.edge.dimension_joins
+            else ""
+        )
+        return (
+            f"answered from {self.source_view.name}{joins} "
+            f"({self.input_rows:,} rows)"
+        )
+
+
+class QueryRouter:
+    """Routes aggregate queries to the cheapest capable summary table."""
+
+    def __init__(self, warehouse: Warehouse):
+        self.warehouse = warehouse
+
+    def plan(self, query: AggregateQuery) -> QueryPlan:
+        """Pick the smallest materialised view the query derives from."""
+        resolved = query.definition.resolved()
+        best: tuple[int, MaterializedView, EdgeQuery] | None = None
+        for view in self.warehouse.views.values():
+            if view.definition.fact is not query.definition.fact:
+                continue
+            edge = try_derive(resolved, view.definition)
+            if edge is None:
+                continue
+            cost = len(view.table)
+            if best is None or cost < best[0]:
+                best = (cost, view, edge)
+        if best is None:
+            return QueryPlan(
+                query=query,
+                source_view=None,
+                edge=None,
+                input_rows=len(query.definition.fact.table),
+            )
+        cost, view, edge = best
+        return QueryPlan(query=query, source_view=view, edge=edge, input_rows=cost)
+
+    def answer(
+        self,
+        query: AggregateQuery,
+        pending_deltas: "dict | None" = None,
+    ) -> Table:
+        """Plan and evaluate; columns are exactly the query's outputs.
+
+        *pending_deltas* maps view names to their computed-but-unapplied
+        :class:`~repro.core.deltas.SummaryDelta` objects.  When the routed
+        view has one, the query is answered through a compensated snapshot
+        (:func:`repro.core.compensation.read_through_delta`), so readers
+        see post-change data before the batch window runs.
+        """
+        plan = self.plan(query)
+        resolved = query.definition.resolved()
+        if plan.source_view is None:
+            full = compute_rows(resolved, name="__query__")
+        else:
+            source = plan.source_view
+            if pending_deltas and source.name in pending_deltas:
+                from ..core.compensation import read_through_delta
+
+                source = read_through_delta(source, pending_deltas[source.name])
+            full = plan.edge.apply(source.table, name="__query__")
+        return _project_user_columns(full, resolved, query)
+
+    def explain(self, query: AggregateQuery) -> str:
+        """Human-readable routing decision."""
+        return self.plan(query).describe()
+
+
+def _project_user_columns(
+    full: Table, resolved: SummaryViewDefinition, query: AggregateQuery
+) -> Table:
+    """Strip self-maintainability companions; evaluate derived (AVG) outputs."""
+    wanted = query.user_columns()
+    storage = resolved.storage_schema()
+    derived = {d.name: d for d in resolved.derived}
+    result = Table("__query__", Schema(wanted))
+    positions = {column: storage.position(column) for column in storage.columns}
+    for row in full.scan():
+        values = []
+        for column in wanted:
+            if column in derived:
+                spec = derived[column]
+                numerator = row[positions[spec.numerator]]
+                denominator = row[positions[spec.denominator]]
+                if numerator is None or not denominator:
+                    values.append(None)
+                else:
+                    values.append(numerator / denominator)
+            else:
+                values.append(row[positions[column]])
+        result.insert(tuple(values))
+    return result

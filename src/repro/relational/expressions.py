@@ -1,0 +1,426 @@
+"""A small scalar-expression language over rows.
+
+Summary views aggregate *expressions* (the paper's example is ``SUM(A*B)``),
+and the prepare-views of Table 1 need negation (``-expr``) and SQL-92
+``CASE`` (for ``COUNT(expr)``'s null handling).  This module provides an
+expression tree that:
+
+* binds against a :class:`~repro.relational.schema.Schema` once, producing a
+  plain Python closure evaluated per row (no per-row name lookups);
+* reports the columns it references (used by the derives relation to decide
+  whether a child view's aggregate is computable from a parent's group-bys);
+* renders itself as SQL text so view definitions can be diffed against the
+  paper's figures;
+* supports structural equality and hashing (used to match aggregates between
+  views when building lattice edges).
+
+Expressions follow SQL null semantics as implemented in
+:mod:`repro.relational.types`: arithmetic propagates null, comparisons with
+null are false, ``CASE`` conditions treat unknown as false.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..errors import ExpressionError
+from .schema import Schema
+from .types import (
+    null_safe_add,
+    null_safe_eq,
+    null_safe_ge,
+    null_safe_gt,
+    null_safe_le,
+    null_safe_lt,
+    null_safe_mul,
+    null_safe_neg,
+    null_safe_sub,
+)
+
+Row = tuple[Any, ...]
+Evaluator = Callable[[Row], Any]
+
+
+class Expression:
+    """Base class for scalar expressions."""
+
+    def bind(self, schema: Schema) -> Evaluator:
+        """Compile this expression into a ``row -> value`` closure."""
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """The column names this expression references."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """SQL-ish text for this expression."""
+        raise NotImplementedError
+
+    # -- operator sugar -------------------------------------------------
+
+    def __add__(self, other: "Expression | Any") -> "Expression":
+        return Add(self, as_expression(other))
+
+    def __sub__(self, other: "Expression | Any") -> "Expression":
+        return Sub(self, as_expression(other))
+
+    def __mul__(self, other: "Expression | Any") -> "Expression":
+        return Mul(self, as_expression(other))
+
+    def __neg__(self) -> "Expression":
+        return Neg(self)
+
+    # Comparison sugar returns predicate expressions, not bool.
+    def eq(self, other: "Expression | Any") -> "Expression":
+        return Comparison("=", self, as_expression(other))
+
+    def ne(self, other: "Expression | Any") -> "Expression":
+        return Comparison("<>", self, as_expression(other))
+
+    def lt(self, other: "Expression | Any") -> "Expression":
+        return Comparison("<", self, as_expression(other))
+
+    def le(self, other: "Expression | Any") -> "Expression":
+        return Comparison("<=", self, as_expression(other))
+
+    def gt(self, other: "Expression | Any") -> "Expression":
+        return Comparison(">", self, as_expression(other))
+
+    def ge(self, other: "Expression | Any") -> "Expression":
+        return Comparison(">=", self, as_expression(other))
+
+    def is_null(self) -> "Expression":
+        return IsNull(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Expression):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+
+def as_expression(value: "Expression | Any") -> Expression:
+    """Coerce a raw Python value into a :class:`Literal` (pass-through for
+    existing expressions)."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class Column(Expression):
+    """A reference to a named column."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ExpressionError("column name must be non-empty")
+        self.name = name
+
+    def bind(self, schema: Schema) -> Evaluator:
+        position = schema.position(self.name)
+        return lambda row: row[position]
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def render(self) -> str:
+        return self.name
+
+    def _key(self) -> tuple:
+        return ("col", self.name)
+
+
+class Literal(Expression):
+    """A constant value (``None`` renders as ``NULL``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def bind(self, schema: Schema) -> Evaluator:
+        value = self.value
+        return lambda row: value
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def render(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+    def _key(self) -> tuple:
+        return ("lit", self.value)
+
+
+class _Binary(Expression):
+    """Shared machinery for binary operators."""
+
+    __slots__ = ("left", "right")
+    symbol = "?"
+    operation: Callable[[Any, Any], Any] = staticmethod(lambda a, b: None)
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> Evaluator:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        operation = self.operation
+        return lambda row: operation(left(row), right(row))
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.symbol} {self.right.render()})"
+
+    def _key(self) -> tuple:
+        return (self.symbol, self.left._key(), self.right._key())
+
+
+class Add(_Binary):
+    symbol = "+"
+    operation = staticmethod(null_safe_add)
+
+
+class Sub(_Binary):
+    symbol = "-"
+    operation = staticmethod(null_safe_sub)
+
+
+class Mul(_Binary):
+    symbol = "*"
+    operation = staticmethod(null_safe_mul)
+
+
+class Neg(Expression):
+    """Unary negation (null in, null out)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def bind(self, schema: Schema) -> Evaluator:
+        operand = self.operand.bind(schema)
+        return lambda row: null_safe_neg(operand(row))
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def render(self) -> str:
+        return f"-{self.operand.render()}"
+
+    def _key(self) -> tuple:
+        return ("neg", self.operand._key())
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": null_safe_eq,
+    "<>": lambda a, b: (a is not None and b is not None and a != b),
+    "<": null_safe_lt,
+    "<=": null_safe_le,
+    ">": null_safe_gt,
+    ">=": null_safe_ge,
+}
+
+
+class Comparison(Expression):
+    """A SQL comparison: unknown (null operand) is treated as false."""
+
+    __slots__ = ("symbol", "left", "right")
+
+    def __init__(self, symbol: str, left: Expression, right: Expression):
+        if symbol not in _COMPARATORS:
+            raise ExpressionError(f"unknown comparison operator {symbol!r}")
+        self.symbol = symbol
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: Schema) -> Evaluator:
+        compare = _COMPARATORS[self.symbol]
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        return lambda row: compare(left(row), right(row))
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.symbol} {self.right.render()})"
+
+    def _key(self) -> tuple:
+        return ("cmp", self.symbol, self.left._key(), self.right._key())
+
+
+class And(Expression):
+    """Logical conjunction of predicate expressions."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Expression):
+        if not operands:
+            raise ExpressionError("AND requires at least one operand")
+        self.operands = tuple(operands)
+
+    def bind(self, schema: Schema) -> Evaluator:
+        bound = [operand.bind(schema) for operand in self.operands]
+        return lambda row: all(evaluate(row) for evaluate in bound)
+
+    def columns(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+    def render(self) -> str:
+        return "(" + " AND ".join(op.render() for op in self.operands) + ")"
+
+    def _key(self) -> tuple:
+        return ("and",) + tuple(op._key() for op in self.operands)
+
+
+class Or(Expression):
+    """Logical disjunction of predicate expressions."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, *operands: Expression):
+        if not operands:
+            raise ExpressionError("OR requires at least one operand")
+        self.operands = tuple(operands)
+
+    def bind(self, schema: Schema) -> Evaluator:
+        bound = [operand.bind(schema) for operand in self.operands]
+        return lambda row: any(evaluate(row) for evaluate in bound)
+
+    def columns(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+    def render(self) -> str:
+        return "(" + " OR ".join(op.render() for op in self.operands) + ")"
+
+    def _key(self) -> tuple:
+        return ("or",) + tuple(op._key() for op in self.operands)
+
+
+class Not(Expression):
+    """Logical negation (unknown treated as false before negating)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def bind(self, schema: Schema) -> Evaluator:
+        operand = self.operand.bind(schema)
+        return lambda row: not operand(row)
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def render(self) -> str:
+        return f"(NOT {self.operand.render()})"
+
+    def _key(self) -> tuple:
+        return ("not", self.operand._key())
+
+
+class IsNull(Expression):
+    """SQL ``expr IS NULL``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def bind(self, schema: Schema) -> Evaluator:
+        operand = self.operand.bind(schema)
+        return lambda row: operand(row) is None
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def render(self) -> str:
+        return f"({self.operand.render()} IS NULL)"
+
+    def _key(self) -> tuple:
+        return ("isnull", self.operand._key())
+
+
+class Case(Expression):
+    """SQL-92 searched ``CASE``: ``CASE WHEN p1 THEN v1 ... ELSE d END``.
+
+    Table 1 of the paper uses this form to derive ``COUNT(expr)`` sources:
+    ``CASE WHEN expr IS NULL THEN 0 ELSE 1 END``.
+    """
+
+    __slots__ = ("branches", "default")
+
+    def __init__(self, branches: Sequence[tuple[Expression, Expression]],
+                 default: Expression):
+        if not branches:
+            raise ExpressionError("CASE requires at least one WHEN branch")
+        self.branches = tuple((condition, value) for condition, value in branches)
+        self.default = default
+
+    def bind(self, schema: Schema) -> Evaluator:
+        bound = [(condition.bind(schema), value.bind(schema))
+                 for condition, value in self.branches]
+        default = self.default.bind(schema)
+
+        def evaluate(row: Row) -> Any:
+            for condition, value in bound:
+                if condition(row):
+                    return value(row)
+            return default(row)
+
+        return evaluate
+
+    def columns(self) -> frozenset[str]:
+        result = self.default.columns()
+        for condition, value in self.branches:
+            result |= condition.columns() | value.columns()
+        return result
+
+    def render(self) -> str:
+        parts = ["CASE"]
+        for condition, value in self.branches:
+            parts.append(f"WHEN {condition.render()} THEN {value.render()}")
+        parts.append(f"ELSE {self.default.render()} END")
+        return " ".join(parts)
+
+    def _key(self) -> tuple:
+        return (
+            "case",
+            tuple((c._key(), v._key()) for c, v in self.branches),
+            self.default._key(),
+        )
+
+
+def col(name: str) -> Column:
+    """Shorthand constructor for a column reference."""
+    return Column(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)

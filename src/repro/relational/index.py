@@ -1,0 +1,122 @@
+"""Hash indexes over tables.
+
+The paper's experimental setup gives the fact table a composite index on
+``(storeID, itemID, date)`` and every summary table a composite index on its
+group-by columns; the refresh function does one index lookup per
+summary-delta tuple.  :class:`HashIndex` provides exactly that operation:
+map a composite key (a tuple of column values) to the positions of matching
+rows.
+
+Indexes are maintained incrementally by :class:`~repro.relational.table.Table`
+as rows are inserted and deleted, so a refresh run pays only per-touched-row
+index maintenance, as a real RDBMS would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import TableError
+from .stats import collector
+
+
+class HashIndex:
+    """A (possibly composite, possibly unique) hash index.
+
+    The index maps key tuples to *row slots* — integer positions into the
+    owning table's internal row list.  Deleted slots are tombstoned by the
+    table; the index removes slots eagerly so lookups never see dead rows.
+
+    Parameters
+    ----------
+    columns:
+        The indexed column names, in key order.
+    positions:
+        The tuple positions of those columns in the owning table's schema.
+    unique:
+        When true, inserting a second row with an existing key raises
+        :class:`~repro.errors.TableError`.  Dimension-table primary keys use
+        this; fact tables and summary tables do not.
+    """
+
+    __slots__ = ("columns", "_positions", "unique", "_buckets")
+
+    def __init__(self, columns: Sequence[str], positions: Sequence[int], unique: bool = False):
+        if not columns:
+            raise TableError("an index must cover at least one column")
+        self.columns = tuple(columns)
+        self._positions = tuple(positions)
+        self.unique = unique
+        self._buckets: dict[tuple[Any, ...], list[int]] = {}
+
+    def key_of(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        """Extract this index's key tuple from a full row."""
+        positions = self._positions
+        return tuple(row[p] for p in positions)
+
+    def add(self, row: Sequence[Any], slot: int) -> None:
+        """Register *row* stored at *slot*."""
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [slot]
+        else:
+            if self.unique:
+                raise TableError(
+                    f"unique index on {self.columns} violated by key {key!r}"
+                )
+            bucket.append(slot)
+
+    def remove(self, row: Sequence[Any], slot: int) -> None:
+        """Unregister *row* previously stored at *slot*."""
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if not bucket:
+            raise TableError(f"index on {self.columns}: key {key!r} not present")
+        try:
+            bucket.remove(slot)
+        except ValueError:
+            raise TableError(
+                f"index on {self.columns}: slot {slot} not registered for key {key!r}"
+            ) from None
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, key: tuple[Any, ...]) -> list[int]:
+        """Return the row slots whose key equals *key* (empty when absent)."""
+        stats = collector()
+        if stats is not None:
+            stats.index_lookups += 1
+        return self._buckets.get(key, [])
+
+    def lookup_one(self, key: tuple[Any, ...]) -> int | None:
+        """Return the single slot for *key*, or ``None`` when absent.
+
+        Raises :class:`~repro.errors.TableError` when more than one row
+        matches — callers use this for keys they expect to be unique (e.g.
+        a summary table's group-by columns).
+        """
+        stats = collector()
+        if stats is not None:
+            stats.index_lookups += 1
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return None
+        if len(bucket) > 1:
+            raise TableError(
+                f"index on {self.columns}: key {key!r} matches {len(bucket)} rows, "
+                "expected at most one"
+            )
+        return bucket[0]
+
+    def keys(self) -> Iterable[tuple[Any, ...]]:
+        """Iterate over the distinct keys currently present."""
+        return self._buckets.keys()
+
+    def __len__(self) -> int:
+        """The number of distinct keys."""
+        return len(self._buckets)
+
+    def clear(self) -> None:
+        """Drop all entries (used when a table is truncated or rebuilt)."""
+        self._buckets.clear()

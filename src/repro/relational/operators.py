@@ -1,0 +1,190 @@
+"""Physical relational operators: select, project, hash join, union.
+
+These are the building blocks the maintenance algorithms are written in.
+Each operator consumes :class:`~repro.relational.table.Table` objects (or raw
+row iterables where noted) and produces a new table; none of them mutate
+their inputs.
+
+The join is a classic build/probe hash equi-join.  When the build side
+already has a hash index on the join columns the index is reused, matching
+the paper's setup where joins between the fact table and dimension tables run
+along indexed foreign keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import TableError
+from .expressions import Expression
+from .schema import Schema
+from .table import Row, Table
+
+
+def select(table: Table, predicate: Expression, name: str | None = None) -> Table:
+    """Return the rows of *table* satisfying *predicate*."""
+    test = predicate.bind(table.schema)
+    result = Table(name or f"select({table.name})", table.schema)
+    result.insert_many(row for row in table.scan() if test(row))
+    return result
+
+
+def project(
+    table: Table,
+    outputs: Sequence[tuple[str, Expression]],
+    name: str | None = None,
+) -> Table:
+    """Project (and compute) columns: each output is ``(name, expression)``.
+
+    Bag semantics — duplicates are kept, as in SQL ``SELECT`` without
+    ``DISTINCT``.
+    """
+    schema = Schema([output_name for output_name, _expr in outputs])
+    evaluators = [expr.bind(table.schema) for _name, expr in outputs]
+    result = Table(name or f"project({table.name})", schema)
+    result.insert_many(
+        tuple(evaluate(row) for evaluate in evaluators) for row in table.scan()
+    )
+    return result
+
+
+def distinct(table: Table, name: str | None = None) -> Table:
+    """Return *table* with duplicate rows removed (order of first occurrence)."""
+    seen: set[Row] = set()
+    result = Table(name or f"distinct({table.name})", table.schema)
+    for row in table.scan():
+        if row not in seen:
+            seen.add(row)
+            result.insert(row)
+    return result
+
+
+def union_all(tables: Sequence[Table], name: str | None = None) -> Table:
+    """SQL ``UNION ALL``: concatenate tables with identical schemas."""
+    if not tables:
+        raise TableError("union_all requires at least one input table")
+    schema = tables[0].schema
+    for table in tables[1:]:
+        if table.schema != schema:
+            raise TableError(
+                f"union_all schema mismatch: {list(schema.columns)} vs "
+                f"{list(table.schema.columns)}"
+            )
+    result = Table(name or "union_all", schema)
+    for table in tables:
+        result.insert_many(table.scan())
+    return result
+
+
+def hash_join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Table:
+    """Equi-join *left* and *right* on pairs of ``(left_col, right_col)``.
+
+    The smaller side is used as the build side unless the right side already
+    carries a usable index.  Join keys containing SQL null never match, per
+    SQL semantics.  The output schema is the left schema followed by the
+    right schema, with conflicting right-side names prefixed by the right
+    table's name.
+    """
+    if not on:
+        raise TableError("hash_join requires at least one join column pair")
+    left_cols = [pair[0] for pair in on]
+    right_cols = [pair[1] for pair in on]
+    left_positions = left.schema.positions(left_cols)
+    right_positions = right.schema.positions(right_cols)
+
+    out_schema = left.schema.concat(right.schema, prefix_conflicts=right.name)
+    result = Table(name or f"join({left.name},{right.name})", out_schema)
+
+    # Prefer probing into an existing index on the right side.
+    right_index = right.index_on(right_cols)
+    if right_index is not None:
+        for left_row in left.scan():
+            key = tuple(left_row[p] for p in left_positions)
+            if any(value is None for value in key):
+                continue
+            for slot in right_index.lookup(key):
+                result.insert(left_row + right.row_at(slot))
+        return result
+
+    # Otherwise build a transient hash table on the smaller input.
+    if len(right) <= len(left):
+        build, build_positions = right, right_positions
+        probe, probe_positions = left, left_positions
+        build_is_right = True
+    else:
+        build, build_positions = left, left_positions
+        probe, probe_positions = right, right_positions
+        build_is_right = False
+
+    buckets: dict[tuple[Any, ...], list[Row]] = {}
+    for row in build.scan():
+        key = tuple(row[p] for p in build_positions)
+        if any(value is None for value in key):
+            continue
+        buckets.setdefault(key, []).append(row)
+
+    for probe_row in probe.scan():
+        key = tuple(probe_row[p] for p in probe_positions)
+        if any(value is None for value in key):
+            continue
+        for build_row in buckets.get(key, ()):
+            if build_is_right:
+                result.insert(probe_row + build_row)
+            else:
+                result.insert(build_row + probe_row)
+    return result
+
+
+def left_outer_join(
+    left: Table,
+    right: Table,
+    on: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Table:
+    """Left outer equi-join; unmatched left rows pad the right side with nulls.
+
+    The paper (Section 4.2) observes that refresh "can be thought of as a
+    left outer-join between the summary-delta table and the summary table";
+    the batch refresh variant in :mod:`repro.core.refresh` is built on this
+    operator's access pattern.
+    """
+    if not on:
+        raise TableError("left_outer_join requires at least one join column pair")
+    left_cols = [pair[0] for pair in on]
+    right_cols = [pair[1] for pair in on]
+    left_positions = left.schema.positions(left_cols)
+    right.schema.positions(right_cols)  # validate
+
+    out_schema = left.schema.concat(right.schema, prefix_conflicts=right.name)
+    result = Table(name or f"louter({left.name},{right.name})", out_schema)
+    null_pad = (None,) * len(right.schema)
+
+    right_index = right.index_on(right_cols)
+    if right_index is None:
+        transient = right.copy()
+        transient.create_index(right_cols)
+        right_index = transient.index_on(right_cols)
+        right_source: Table = transient
+    else:
+        right_source = right
+
+    for left_row in left.scan():
+        key = tuple(left_row[p] for p in left_positions)
+        slots = [] if any(v is None for v in key) else right_index.lookup(key)
+        if slots:
+            for slot in slots:
+                result.insert(left_row + right_source.row_at(slot))
+        else:
+            result.insert(left_row + null_pad)
+    return result
+
+
+def rows_from(schema: Schema | Iterable[str], rows: Iterable[Sequence[Any]],
+              name: str = "inline") -> Table:
+    """Build an ad-hoc table from raw rows (test and example helper)."""
+    return Table(name, schema if isinstance(schema, Schema) else Schema(schema), rows)

@@ -1,0 +1,110 @@
+"""Relation schemas: ordered, named columns with positional lookup.
+
+A :class:`Schema` is an immutable ordered list of column names.  Rows are
+plain tuples whose positions correspond to the schema, so expression binding
+resolves column names to tuple positions once, up front, and row access
+inside tight loops is a plain indexed load.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import SchemaError
+
+
+class Schema:
+    """An ordered collection of distinct column names.
+
+    Parameters
+    ----------
+    columns:
+        Column names in relation order.  Names must be non-empty strings and
+        unique within the schema.
+    """
+
+    __slots__ = ("_columns", "_positions")
+
+    def __init__(self, columns: Iterable[str]):
+        cols = tuple(columns)
+        if not cols:
+            raise SchemaError("a schema must have at least one column")
+        positions: dict[str, int] = {}
+        for position, name in enumerate(cols):
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"invalid column name: {name!r}")
+            if name in positions:
+                raise SchemaError(f"duplicate column name: {name!r}")
+            positions[name] = position
+        self._columns = cols
+        self._positions = positions
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The column names, in order."""
+        return self._columns
+
+    def position(self, column: str) -> int:
+        """Return the tuple position of *column*.
+
+        Raises :class:`~repro.errors.SchemaError` for unknown columns.
+        """
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {column!r}; schema has {list(self._columns)}"
+            ) from None
+
+    def positions(self, columns: Sequence[str]) -> tuple[int, ...]:
+        """Return tuple positions for several columns at once."""
+        return tuple(self.position(column) for column in columns)
+
+    def __contains__(self, column: object) -> bool:
+        return column in self._positions
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._columns)!r})"
+
+    def project(self, columns: Sequence[str]) -> "Schema":
+        """Return a new schema containing *columns* (validated) in order."""
+        for column in columns:
+            self.position(column)
+        return Schema(columns)
+
+    def concat(self, other: "Schema", *, prefix_conflicts: str | None = None) -> "Schema":
+        """Return the concatenation of two schemas.
+
+        When both schemas share a column name, the duplicate from *other* is
+        renamed to ``{prefix_conflicts}.{name}`` if a prefix is supplied;
+        otherwise the conflict raises :class:`~repro.errors.SchemaError`.
+        """
+        merged = list(self._columns)
+        for name in other._columns:
+            if name in self._positions:
+                if prefix_conflicts is None:
+                    raise SchemaError(f"column {name!r} appears in both schemas")
+                merged.append(f"{prefix_conflicts}.{name}")
+            else:
+                merged.append(name)
+        return Schema(merged)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a schema with columns renamed per *mapping*."""
+        for old in mapping:
+            self.position(old)
+        return Schema(mapping.get(name, name) for name in self._columns)

@@ -1,0 +1,83 @@
+"""Optional tuple-access accounting for the relational engine.
+
+The paper argues for the D-lattice in *tuple accesses*: "using a
+summary-delta table to compute other summary-delta tables will likely
+require fewer tuple accesses than computing each summary-delta table from
+the changes directly" (§2.2).  Seconds on a Python substrate are a noisy
+proxy for that claim; this module lets benchmarks measure it directly.
+
+Accounting is off by default and costs one branch per *operation* (not per
+row) when disabled: ``Table.scan`` wraps its iterator only while a
+:func:`measuring` block is active.
+
+Usage::
+
+    from repro.relational.stats import measuring
+
+    with measuring() as stats:
+        run_propagate()
+    print(stats.rows_scanned, stats.index_lookups)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class AccessStats:
+    """Counters accumulated while a ``measuring()`` block is active."""
+
+    rows_scanned: int = 0
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    rows_updated: int = 0
+    index_lookups: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return (
+            self.rows_scanned
+            + self.rows_inserted
+            + self.rows_deleted
+            + self.rows_updated
+            + self.index_lookups
+        )
+
+    def snapshot(self) -> "AccessStats":
+        return AccessStats(
+            rows_scanned=self.rows_scanned,
+            rows_inserted=self.rows_inserted,
+            rows_deleted=self.rows_deleted,
+            rows_updated=self.rows_updated,
+            index_lookups=self.index_lookups,
+        )
+
+
+#: The active collector, or None when accounting is off.
+_active: AccessStats | None = None
+
+
+def collector() -> AccessStats | None:
+    """The currently active collector (``None`` when accounting is off)."""
+    return _active
+
+
+@contextmanager
+def measuring() -> Iterator[AccessStats]:
+    """Enable tuple-access accounting for the duration of the block.
+
+    Nested blocks share the outermost collector.
+    """
+    global _active
+    if _active is not None:
+        yield _active
+        return
+    stats = AccessStats()
+    _active = stats
+    try:
+        yield stats
+    finally:
+        _active = None

@@ -1,0 +1,290 @@
+"""Bag-semantics tables with incremental hash-index maintenance.
+
+A :class:`Table` stores rows as plain tuples in insertion order, permits
+duplicates (the paper's ``pos`` fact table is explicitly a bag), and keeps
+any number of :class:`~repro.relational.index.HashIndex` structures in sync
+as rows are inserted, updated in place, or deleted.
+
+Deletions tombstone the row's slot rather than compacting the list, so slots
+held by indexes stay valid; freed slots are recycled by later insertions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import TableError
+from .index import HashIndex
+from .schema import Schema
+from .stats import collector
+
+Row = tuple[Any, ...]
+
+
+class Table:
+    """An in-memory bag of rows conforming to a :class:`Schema`.
+
+    Parameters
+    ----------
+    name:
+        Table name, used in error messages and SQL rendering.
+    schema:
+        The table's schema, or an iterable of column names.
+    rows:
+        Optional initial rows.
+    """
+
+    def __init__(self, name: str, schema: Schema | Iterable[str], rows: Iterable[Sequence[Any]] = ()):
+        self.name = name
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self._rows: list[Row | None] = []
+        self._free_slots: list[int] = []
+        self._live_count = 0
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        self._domains: dict[int, dict[Any, int]] = {}
+        self.insert_many(rows)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """The number of live rows."""
+        return self._live_count
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.scan()
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over live rows in slot order."""
+        stats = collector()
+        if stats is None:
+            for row in self._rows:
+                if row is not None:
+                    yield row
+        else:
+            for row in self._rows:
+                if row is not None:
+                    stats.rows_scanned += 1
+                    yield row
+
+    def rows(self) -> list[Row]:
+        """Materialise the live rows as a list."""
+        return [row for row in self._rows if row is not None]
+
+    def row_at(self, slot: int) -> Row:
+        """Return the live row stored at *slot*."""
+        row = self._rows[slot]
+        if row is None:
+            raise TableError(f"table {self.name!r}: slot {slot} is empty")
+        return row
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows, {list(self.schema.columns)})"
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _check_arity(self, row: Sequence[Any]) -> Row:
+        if len(row) != len(self.schema):
+            raise TableError(
+                f"table {self.name!r}: row arity {len(row)} does not match "
+                f"schema arity {len(self.schema)}"
+            )
+        return tuple(row)
+
+    def insert(self, row: Sequence[Any]) -> int:
+        """Insert one row; return the slot it was stored at."""
+        stored = self._check_arity(row)
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._rows[slot] = stored
+        else:
+            slot = len(self._rows)
+            self._rows.append(stored)
+        for index in self._indexes.values():
+            index.add(stored, slot)
+        if self._domains:
+            for position, counts in self._domains.items():
+                value = stored[position]
+                counts[value] = counts.get(value, 0) + 1
+        self._live_count += 1
+        stats = collector()
+        if stats is not None:
+            stats.rows_inserted += 1
+        return slot
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows; return how many were inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_slot(self, slot: int) -> Row:
+        """Delete the row at *slot*; return the removed row."""
+        row = self.row_at(slot)
+        for index in self._indexes.values():
+            index.remove(row, slot)
+        self._rows[slot] = None
+        self._free_slots.append(slot)
+        if self._domains:
+            for position, counts in self._domains.items():
+                value = row[position]
+                remaining = counts.get(value, 0) - 1
+                if remaining <= 0:
+                    counts.pop(value, None)
+                else:
+                    counts[value] = remaining
+        self._live_count -= 1
+        stats = collector()
+        if stats is not None:
+            stats.rows_deleted += 1
+        return row
+
+    def update_slot(self, slot: int, new_row: Sequence[Any]) -> None:
+        """Replace the row at *slot* in place, keeping indexes consistent."""
+        old_row = self.row_at(slot)
+        stored = self._check_arity(new_row)
+        for index in self._indexes.values():
+            if index.key_of(old_row) != index.key_of(stored):
+                index.remove(old_row, slot)
+                index.add(stored, slot)
+        if self._domains:
+            for position, counts in self._domains.items():
+                old_value, new_value = old_row[position], stored[position]
+                if old_value != new_value:
+                    remaining = counts.get(old_value, 0) - 1
+                    if remaining <= 0:
+                        counts.pop(old_value, None)
+                    else:
+                        counts[old_value] = remaining
+                    counts[new_value] = counts.get(new_value, 0) + 1
+        self._rows[slot] = stored
+        stats = collector()
+        if stats is not None:
+            stats.rows_updated += 1
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete all rows satisfying *predicate*; return how many."""
+        doomed = [slot for slot, row in enumerate(self._rows)
+                  if row is not None and predicate(row)]
+        for slot in doomed:
+            self.delete_slot(slot)
+        return len(doomed)
+
+    def delete_one_matching(self, row: Sequence[Any]) -> bool:
+        """Delete one occurrence of *row* (bag semantics); report success.
+
+        Uses an index covering all columns if one exists, otherwise scans.
+        """
+        target = self._check_arity(row)
+        full_index = self._indexes.get(self.schema.columns)
+        if full_index is not None:
+            slots = full_index.lookup(target)
+            if not slots:
+                return False
+            self.delete_slot(slots[0])
+            return True
+        for slot, existing in enumerate(self._rows):
+            if existing == target:
+                self.delete_slot(slot)
+                return True
+        return False
+
+    def truncate(self) -> None:
+        """Remove every row but keep schema, index, and domain definitions."""
+        self._rows.clear()
+        self._free_slots.clear()
+        self._live_count = 0
+        for index in self._indexes.values():
+            index.clear()
+        for counts in self._domains.values():
+            counts.clear()
+
+    # ------------------------------------------------------------------
+    # Domain tracking
+    # ------------------------------------------------------------------
+
+    def track_domain(self, column: str) -> None:
+        """Maintain the set of distinct values of *column* incrementally.
+
+        Used by index-assisted recomputation plans
+        (:mod:`repro.core.recompute`) to enumerate candidate index keys for
+        low-cardinality columns (e.g. ``date``).  Idempotent.
+        """
+        position = self.schema.position(column)
+        if position in self._domains:
+            return
+        counts: dict[Any, int] = {}
+        for row in self._rows:
+            if row is not None:
+                value = row[position]
+                counts[value] = counts.get(value, 0) + 1
+        self._domains[position] = counts
+
+    def domain(self, column: str) -> tuple[Any, ...] | None:
+        """Distinct live values of *column*, or ``None`` when untracked."""
+        position = self.schema.position(column)
+        counts = self._domains.get(position)
+        if counts is None:
+            return None
+        return tuple(counts.keys())
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def create_index(self, columns: Sequence[str], unique: bool = False) -> HashIndex:
+        """Create (or return an existing) hash index on *columns*."""
+        key = tuple(columns)
+        existing = self._indexes.get(key)
+        if existing is not None:
+            if existing.unique != unique:
+                raise TableError(
+                    f"table {self.name!r}: index on {key} already exists with "
+                    f"unique={existing.unique}"
+                )
+            return existing
+        index = HashIndex(key, self.schema.positions(columns), unique=unique)
+        for slot, row in enumerate(self._rows):
+            if row is not None:
+                index.add(row, slot)
+        self._indexes[key] = index
+        return index
+
+    def index_on(self, columns: Sequence[str]) -> HashIndex | None:
+        """Return the index on exactly *columns*, or ``None``."""
+        return self._indexes.get(tuple(columns))
+
+    @property
+    def indexes(self) -> dict[tuple[str, ...], HashIndex]:
+        """The table's indexes, keyed by their column tuple."""
+        return dict(self._indexes)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "Table":
+        """Return a deep copy (rows, index definitions, tracked domains)."""
+        clone = Table(name or self.name, self.schema, self.scan())
+        for index in self._indexes.values():
+            clone.create_index(index.columns, unique=index.unique)
+        for position in self._domains:
+            clone.track_domain(self.schema.columns[position])
+        return clone
+
+    def column_values(self, column: str) -> list[Any]:
+        """Return all live values of *column*, in slot order."""
+        position = self.schema.position(column)
+        return [row[position] for row in self._rows if row is not None]
+
+    def sorted_rows(self) -> list[Row]:
+        """Live rows sorted with nulls first — a canonical form for tests."""
+        def sort_key(row: Row) -> tuple:
+            return tuple((value is not None, value) for value in row)
+
+        return sorted(self.rows(), key=sort_key)

@@ -1,0 +1,116 @@
+"""Value types and SQL-style null semantics for the relational substrate.
+
+The engine stores Python values directly (``int``, ``float``, ``str``,
+``datetime.date``, ...) and represents SQL ``NULL`` as ``None``.  This module
+centralises the places where null handling differs from plain Python:
+
+* comparisons involving ``NULL`` are *unknown* and therefore never satisfy a
+  predicate (:func:`null_safe_lt` and friends return ``False``);
+* arithmetic involving ``NULL`` yields ``NULL`` (:func:`null_safe_add`, ...);
+* grouping treats ``NULL`` as an ordinary value, as SQL ``GROUP BY`` does.
+
+Keeping these rules in one module lets the aggregate framework and the
+refresh algorithm (which must reason about ``COUNT(e)`` reaching zero) share
+one notion of null.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+#: The SQL NULL marker used throughout the engine.
+NULL = None
+
+#: Python types accepted as column values (``None`` is always accepted).
+SUPPORTED_VALUE_TYPES = (int, float, str, bool, datetime.date, datetime.datetime)
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` when *value* is SQL ``NULL``."""
+    return value is None
+
+
+def null_safe_eq(left: Any, right: Any) -> bool:
+    """SQL ``=``: unknown (treated as false) when either side is null."""
+    if left is None or right is None:
+        return False
+    return left == right
+
+
+def null_safe_lt(left: Any, right: Any) -> bool:
+    """SQL ``<``: unknown (treated as false) when either side is null."""
+    if left is None or right is None:
+        return False
+    return left < right
+
+
+def null_safe_le(left: Any, right: Any) -> bool:
+    """SQL ``<=``: unknown (treated as false) when either side is null."""
+    if left is None or right is None:
+        return False
+    return left <= right
+
+
+def null_safe_gt(left: Any, right: Any) -> bool:
+    """SQL ``>``: unknown (treated as false) when either side is null."""
+    if left is None or right is None:
+        return False
+    return left > right
+
+
+def null_safe_ge(left: Any, right: Any) -> bool:
+    """SQL ``>=``: unknown (treated as false) when either side is null."""
+    if left is None or right is None:
+        return False
+    return left >= right
+
+
+def null_safe_add(left: Any, right: Any) -> Any:
+    """SQL ``+``: null when either operand is null."""
+    if left is None or right is None:
+        return None
+    return left + right
+
+
+def null_safe_sub(left: Any, right: Any) -> Any:
+    """SQL ``-``: null when either operand is null."""
+    if left is None or right is None:
+        return None
+    return left - right
+
+
+def null_safe_mul(left: Any, right: Any) -> Any:
+    """SQL ``*``: null when either operand is null."""
+    if left is None or right is None:
+        return None
+    return left * right
+
+
+def null_safe_neg(value: Any) -> Any:
+    """SQL unary ``-``: null when the operand is null."""
+    if value is None:
+        return None
+    return -value
+
+
+def null_min(left: Any, right: Any) -> Any:
+    """Minimum that ignores nulls (both null gives null).
+
+    This is the combining rule for the ``MIN`` aggregate, *not* the SQL
+    comparison: SQL aggregates skip null inputs rather than propagating them.
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return left if left <= right else right
+
+
+def null_max(left: Any, right: Any) -> Any:
+    """Maximum that ignores nulls (both null gives null)."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return left if left >= right else right

@@ -1,0 +1,34 @@
+"""SQLite execution backend: the paper's method on a real RDBMS.
+
+The paper implemented summary-delta maintenance on top of a commercial
+relational database; this subpackage does the same on SQLite, executing
+the actual SQL of Sections 2 and 4 for materialisation and propagate, and
+the Figure 2/7 cursor program for refresh.  It cross-validates the
+in-memory engine and serves as a reference for porting the method to any
+SQL system.
+"""
+
+from .schema import connect, create_index, create_table, load_fact, sorted_rows
+from .sqlgen import (
+    edge_delta_select_sql,
+    group_recompute_sql,
+    materialize_select_sql,
+    prepare_select_sql,
+    summary_delta_select_sql,
+)
+from .warehouse import SqliteSummaryTable, SqliteWarehouse
+
+__all__ = [
+    "SqliteSummaryTable",
+    "SqliteWarehouse",
+    "connect",
+    "create_index",
+    "create_table",
+    "edge_delta_select_sql",
+    "group_recompute_sql",
+    "load_fact",
+    "materialize_select_sql",
+    "prepare_select_sql",
+    "sorted_rows",
+    "summary_delta_select_sql",
+]

@@ -1,0 +1,100 @@
+"""SQLite schema management for the RDBMS execution backend.
+
+The paper implemented the summary-delta method *on top of a relational
+database* (Centura SQL, driven from SAL).  This subpackage mirrors that
+architecture on SQLite: base tables, change tables, summary tables and
+summary-delta tables are real SQL tables; propagate is executed as the
+paper's SQL (Figures 3 and 6); refresh is the embedded-cursor program of
+Figure 2 / Figure 7 issued over a connection.
+
+The in-memory engine (:mod:`repro.relational`) and this backend are
+cross-validated in ``tests/sqlite_backend`` — the same workload must
+produce identical summary-table contents on both.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Sequence
+
+from ..warehouse.dimension import DimensionTable
+from ..warehouse.fact import FactTable
+
+
+def connect() -> sqlite3.Connection:
+    """An in-memory SQLite database tuned for deterministic testing."""
+    connection = sqlite3.connect(":memory:")
+    connection.execute("PRAGMA foreign_keys = OFF")
+    return connection
+
+
+def quote_identifier(name: str) -> str:
+    """Quote an identifier for SQLite (handles our ``_``-prefixed names)."""
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def create_table(
+    connection: sqlite3.Connection,
+    name: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence] = (),
+) -> None:
+    """Create (replacing) a dynamically-typed table and bulk-load rows."""
+    connection.execute(f"DROP TABLE IF EXISTS {quote_identifier(name)}")
+    column_list = ", ".join(quote_identifier(column) for column in columns)
+    connection.execute(f"CREATE TABLE {quote_identifier(name)} ({column_list})")
+    placeholders = ", ".join("?" for _ in columns)
+    connection.executemany(
+        f"INSERT INTO {quote_identifier(name)} VALUES ({placeholders})",
+        rows,
+    )
+
+
+def create_index(
+    connection: sqlite3.Connection,
+    table: str,
+    columns: Sequence[str],
+    unique: bool = False,
+) -> None:
+    """Create a (composite) index named after its table and columns."""
+    index_name = f"idx_{table}_{'_'.join(columns)}"
+    uniqueness = "UNIQUE " if unique else ""
+    column_list = ", ".join(quote_identifier(column) for column in columns)
+    connection.execute(
+        f"CREATE {uniqueness}INDEX IF NOT EXISTS {quote_identifier(index_name)} "
+        f"ON {quote_identifier(table)} ({column_list})"
+    )
+
+
+def load_dimension(connection: sqlite3.Connection, dimension: DimensionTable) -> None:
+    """Load a dimension table and its unique key index."""
+    create_table(
+        connection, dimension.name, dimension.columns, dimension.table.scan()
+    )
+    create_index(connection, dimension.name, [dimension.key], unique=True)
+
+
+def load_fact(connection: sqlite3.Connection, fact: FactTable) -> None:
+    """Load a fact table, its dimensions, and the paper's composite index."""
+    for fk in fact.foreign_keys:
+        load_dimension(connection, fk.dimension)
+    create_table(connection, fact.name, fact.columns, fact.table.scan())
+    for index in fact.table.indexes.values():
+        create_index(connection, fact.name, list(index.columns))
+
+
+def table_rows(connection: sqlite3.Connection, name: str) -> list[tuple]:
+    """All rows of a table (unordered)."""
+    return list(connection.execute(f"SELECT * FROM {quote_identifier(name)}"))
+
+
+def sorted_rows(connection: sqlite3.Connection, name: str) -> list[tuple]:
+    """Rows in the engine's canonical (nulls-first) order, for comparison
+    with :meth:`repro.relational.Table.sorted_rows`."""
+    rows = table_rows(connection, name)
+
+    def sort_key(row: tuple) -> tuple:
+        return tuple((value is not None, value) for value in row)
+
+    return sorted(rows, key=sort_key)

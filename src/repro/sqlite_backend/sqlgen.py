@@ -1,0 +1,273 @@
+"""SQL text generation for the SQLite backend.
+
+Unlike the display renderer in :mod:`repro.views.sql` (which matches the
+paper's figures verbatim, ambiguous column names and all), the SQL emitted
+here must actually execute: every column reference is qualified with its
+owning table, aliases are quoted, and the fact table can be substituted by
+a change table (``pos_ins`` / ``pos_del``) in the FROM clause.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExpressionError
+from ..relational import expressions as expr
+from ..views.definition import SummaryViewDefinition
+from .schema import quote_identifier
+
+Qualifier = Callable[[str], str]
+
+
+def render_qualified(expression: expr.Expression, qualify: Qualifier) -> str:
+    """Render an expression with every column reference qualified."""
+    if isinstance(expression, expr.Column):
+        return qualify(expression.name)
+    if isinstance(expression, expr.Literal):
+        return expression.render()
+    if isinstance(expression, expr.Neg):
+        return f"-{render_qualified(expression.operand, qualify)}"
+    if isinstance(expression, (expr.Add, expr.Sub, expr.Mul)):
+        left = render_qualified(expression.left, qualify)
+        right = render_qualified(expression.right, qualify)
+        return f"({left} {expression.symbol} {right})"
+    if isinstance(expression, expr.Comparison):
+        left = render_qualified(expression.left, qualify)
+        right = render_qualified(expression.right, qualify)
+        return f"({left} {expression.symbol} {right})"
+    if isinstance(expression, expr.And):
+        parts = [render_qualified(op, qualify) for op in expression.operands]
+        return "(" + " AND ".join(parts) + ")"
+    if isinstance(expression, expr.Or):
+        parts = [render_qualified(op, qualify) for op in expression.operands]
+        return "(" + " OR ".join(parts) + ")"
+    if isinstance(expression, expr.Not):
+        return f"(NOT {render_qualified(expression.operand, qualify)})"
+    if isinstance(expression, expr.IsNull):
+        return f"({render_qualified(expression.operand, qualify)} IS NULL)"
+    if isinstance(expression, expr.Case):
+        parts = ["CASE"]
+        for condition, value in expression.branches:
+            parts.append(
+                f"WHEN {render_qualified(condition, qualify)} "
+                f"THEN {render_qualified(value, qualify)}"
+            )
+        parts.append(f"ELSE {render_qualified(expression.default, qualify)} END")
+        return " ".join(parts)
+    raise ExpressionError(f"cannot render {type(expression).__name__} to SQL")
+
+
+def _qualifier_for(definition: SummaryViewDefinition, fact_alias: str) -> Qualifier:
+    """Map a bare column name to ``table.column`` for the view's source."""
+
+    def qualify(column: str) -> str:
+        owner = definition.attribute_owner(column)
+        table = fact_alias if owner == "fact" else owner
+        return f"{quote_identifier(table)}.{quote_identifier(column)}"
+
+    return qualify
+
+
+def _from_where(
+    definition: SummaryViewDefinition, fact_alias: str
+) -> tuple[str, str]:
+    tables = [quote_identifier(fact_alias)]
+    conditions: list[str] = []
+    for dimension_name in definition.dimensions:
+        fk = definition.fact.foreign_key_for(dimension_name)
+        tables.append(quote_identifier(dimension_name))
+        conditions.append(
+            f"{quote_identifier(fact_alias)}.{quote_identifier(fk.column)} = "
+            f"{quote_identifier(dimension_name)}.{quote_identifier(fk.dimension.key)}"
+        )
+    if definition.where is not None:
+        conditions.append(
+            render_qualified(definition.where, _qualifier_for(definition, fact_alias))
+        )
+    from_clause = "FROM " + ", ".join(tables)
+    where_clause = ("WHERE " + " AND ".join(conditions)) if conditions else ""
+    return from_clause, where_clause
+
+
+def materialize_select_sql(definition: SummaryViewDefinition) -> str:
+    """``SELECT``-from-base computing the resolved view's stored columns."""
+    fact_name = definition.fact.name
+    qualify = _qualifier_for(definition, fact_name)
+    items = [
+        f"{qualify(attribute)} AS {quote_identifier(attribute)}"
+        for attribute in definition.group_by
+    ]
+    for output in definition.aggregates:
+        function = output.function
+        if function.kind == "count_star":
+            rendered = "COUNT(*)"
+        else:
+            argument = render_qualified(function.argument, qualify)
+            rendered = f"{function.kind.upper()}({argument})"
+        items.append(f"{rendered} AS {quote_identifier(output.name)}")
+    from_clause, where_clause = _from_where(definition, fact_name)
+    sql = f"SELECT {', '.join(items)}\n{from_clause}"
+    if where_clause:
+        sql += f"\n{where_clause}"
+    if definition.group_by:
+        group_list = ", ".join(
+            _qualifier_for(definition, fact_name)(a) for a in definition.group_by
+        )
+        sql += f"\nGROUP BY {group_list}"
+    return sql
+
+
+def prepare_select_sql(definition: SummaryViewDefinition, deletion: bool) -> str:
+    """One side of prepare-changes: the Figure 6 ``pi_``/``pd_`` SELECT,
+    reading from the ``{fact}_ins`` / ``{fact}_del`` change table."""
+    suffix = "del" if deletion else "ins"
+    change_table = f"{definition.fact.name}_{suffix}"
+    qualify = _qualifier_for(definition, change_table)
+    items = [
+        f"{qualify(attribute)} AS {quote_identifier(attribute)}"
+        for attribute in definition.group_by
+    ]
+    for output in definition.aggregates:
+        source = (
+            output.function.deletion_source()
+            if deletion
+            else output.function.insertion_source()
+        )
+        items.append(
+            f"{render_qualified(source, qualify)} AS "
+            f"{quote_identifier('_' + output.name)}"
+        )
+    from_clause, where_clause = _from_where(definition, change_table)
+    sql = f"SELECT {', '.join(items)}\n{from_clause}"
+    if where_clause:
+        sql += f"\n{where_clause}"
+    return sql
+
+
+def summary_delta_select_sql(definition: SummaryViewDefinition) -> str:
+    """The full propagate query (Section 4.1.2): aggregate the UNION ALL of
+    prepare-insertions and prepare-deletions.  Delta columns reuse the
+    summary table's column names (the Theorem 5.1 convention)."""
+    items = [quote_identifier(attribute) for attribute in definition.group_by]
+    for output in definition.aggregates:
+        source = quote_identifier("_" + output.name)
+        if output.function.kind in ("count_star", "count", "sum"):
+            combined = f"SUM({source})"
+        elif output.function.kind == "min":
+            combined = f"MIN({source})"
+        else:
+            combined = f"MAX({source})"
+        items.append(f"{combined} AS {quote_identifier(output.name)}")
+    union = (
+        f"{prepare_select_sql(definition, deletion=False)}\n"
+        f"UNION ALL\n"
+        f"{prepare_select_sql(definition, deletion=True)}"
+    )
+    sql = f"SELECT {', '.join(items)}\nFROM (\n{union}\n)"
+    if definition.group_by:
+        group_list = ", ".join(
+            quote_identifier(attribute) for attribute in definition.group_by
+        )
+        sql += f"\nGROUP BY {group_list}"
+    return sql
+
+
+def edge_delta_select_sql(edge, parent_table: str) -> str:
+    """Render a lattice edge query (Theorem 5.1) as SQL over *parent_table*.
+
+    Applied to a parent summary-delta table it computes the child's delta;
+    applied to a parent summary table it computes the child's rows — the
+    same duality the in-memory :class:`~repro.lattice.derives.EdgeQuery`
+    provides.  Only the paper's MIN/MAX policy (no split columns) is
+    rendered.
+    """
+    from ..relational.aggregation import MaxReducer, MinReducer, SumReducer
+
+    child = edge.child
+    parent_columns = set(edge.parent.storage_schema().columns)
+    dims = {
+        name: edge.parent.fact.dimension(name) for name in edge.dimension_joins
+    }
+
+    def qualify(column: str) -> str:
+        if column in parent_columns:
+            return f"{quote_identifier(parent_table)}.{quote_identifier(column)}"
+        for dimension_name, dimension in dims.items():
+            if column in dimension.columns:
+                return (
+                    f"{quote_identifier(dimension_name)}."
+                    f"{quote_identifier(column)}"
+                )
+        raise ExpressionError(
+            f"edge query column {column!r} is neither in {parent_table!r} "
+            "nor in a joined dimension"
+        )
+
+    items = [
+        f"{qualify(attribute)} AS {quote_identifier(attribute)}"
+        for attribute in child.group_by
+    ]
+    for name, expression, reducer in edge.view_specs:
+        if isinstance(reducer, SumReducer):
+            keyword = "SUM"
+        elif isinstance(reducer, MinReducer):
+            keyword = "MIN"
+        elif isinstance(reducer, MaxReducer):
+            keyword = "MAX"
+        else:
+            raise ExpressionError(
+                f"cannot render reducer {type(reducer).__name__} to SQL"
+            )
+        items.append(
+            f"{keyword}({render_qualified(expression, qualify)}) AS "
+            f"{quote_identifier(name)}"
+        )
+
+    tables = [quote_identifier(parent_table)]
+    conditions: list[str] = []
+    for dimension_name in edge.dimension_joins:
+        fk = edge.parent.fact.foreign_key_for(dimension_name)
+        tables.append(quote_identifier(dimension_name))
+        conditions.append(
+            f"{quote_identifier(parent_table)}.{quote_identifier(fk.column)} "
+            f"= {quote_identifier(dimension_name)}."
+            f"{quote_identifier(fk.dimension.key)}"
+        )
+    sql = f"SELECT {', '.join(items)}\nFROM {', '.join(tables)}"
+    if conditions:
+        sql += f"\nWHERE {' AND '.join(conditions)}"
+    if child.group_by:
+        sql += "\nGROUP BY " + ", ".join(
+            qualify(attribute) for attribute in child.group_by
+        )
+    return sql
+
+
+def group_recompute_sql(definition: SummaryViewDefinition) -> str:
+    """Per-group recomputation query for the refresh function's MIN/MAX
+    case — parameterised on the group-by values (``IS ?`` handles nulls)."""
+    fact_name = definition.fact.name
+    qualify = _qualifier_for(definition, fact_name)
+    items = []
+    for output in definition.aggregates:
+        function = output.function
+        if function.kind == "count_star":
+            rendered = "COUNT(*)"
+        else:
+            rendered = (
+                f"{function.kind.upper()}"
+                f"({render_qualified(function.argument, qualify)})"
+            )
+        items.append(f"{rendered} AS {quote_identifier(output.name)}")
+    from_clause, where_clause = _from_where(definition, fact_name)
+    group_conditions = " AND ".join(
+        f"{qualify(attribute)} IS ?" for attribute in definition.group_by
+    )
+    if where_clause:
+        where_clause += f" AND {group_conditions}" if group_conditions else ""
+    elif group_conditions:
+        where_clause = f"WHERE {group_conditions}"
+    sql = f"SELECT {', '.join(items)}\n{from_clause}"
+    if where_clause:
+        sql += f"\n{where_clause}"
+    return sql

@@ -1,0 +1,26 @@
+"""Summary-view definitions, materialisation, and SQL rendering."""
+
+from .definition import (
+    AggregateOutput,
+    DerivedOutput,
+    SummaryViewDefinition,
+)
+from .materialize import MaterializedView, compute_rows
+from .sql import (
+    render_prepare_changes_sql,
+    render_prepare_sql,
+    render_summary_delta_sql,
+    render_view_sql,
+)
+
+__all__ = [
+    "AggregateOutput",
+    "DerivedOutput",
+    "MaterializedView",
+    "SummaryViewDefinition",
+    "compute_rows",
+    "render_prepare_changes_sql",
+    "render_prepare_sql",
+    "render_summary_delta_sql",
+    "render_view_sql",
+]

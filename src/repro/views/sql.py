@@ -1,0 +1,135 @@
+"""SQL rendering of view, prepare, and summary-delta definitions.
+
+The engine executes definitions directly, but every definition can also be
+printed as the SQL the paper shows (Figures 1, 3, and 6), so a reader can
+diff this reproduction against the paper text.  The renderer follows the
+paper's conventions: summary-delta columns are prefixed ``sd_``,
+prepare-insertions/deletions/changes views are prefixed ``pi_``/``pd_``/
+``pc_``, and dimension joins appear as ``FROM fact, dim WHERE fact.fk =
+dim.key``.
+"""
+
+from __future__ import annotations
+
+from ..aggregates.standard import Count, CountStar, Max, Min, Sum
+from .definition import SummaryViewDefinition
+
+
+def _from_where(definition: SummaryViewDefinition, fact_name: str) -> tuple[str, str]:
+    """Build the FROM and WHERE clauses for a view over *fact_name*."""
+    tables = [fact_name]
+    conditions: list[str] = []
+    for dimension_name in definition.dimensions:
+        fk = definition.fact.foreign_key_for(dimension_name)
+        tables.append(dimension_name)
+        conditions.append(
+            f"{fact_name}.{fk.column} = {dimension_name}.{fk.dimension.key}"
+        )
+    if definition.where is not None:
+        conditions.append(definition.where.render())
+    from_clause = "FROM " + ", ".join(tables)
+    where_clause = ("WHERE " + " AND ".join(conditions)) if conditions else ""
+    return from_clause, where_clause
+
+
+def render_view_sql(
+    definition: SummaryViewDefinition, include_synthetic: bool = True
+) -> str:
+    """Render ``CREATE VIEW name(...) AS SELECT ...`` for a summary view."""
+    outputs = [
+        output for output in definition.aggregates
+        if include_synthetic or not output.synthetic
+    ]
+    header_columns = list(definition.group_by) + [output.name for output in outputs]
+    select_items = list(definition.group_by) + [output.render() for output in outputs]
+    from_clause, where_clause = _from_where(definition, definition.fact.name)
+    lines = [
+        f"CREATE VIEW {definition.name}({', '.join(header_columns)}) AS",
+        f"SELECT {', '.join(select_items)}",
+        from_clause,
+    ]
+    if where_clause:
+        lines.append(where_clause)
+    if definition.group_by:
+        lines.append(f"GROUP BY {', '.join(definition.group_by)}")
+    return "\n".join(lines)
+
+
+def _source_item(definition: SummaryViewDefinition, output, deletion: bool) -> str:
+    """Render one aggregate-source column of a prepare view (Table 1)."""
+    function = output.function
+    source = (
+        function.deletion_source() if deletion else function.insertion_source()
+    )
+    return f"{source.render()} AS _{output.name}"
+
+
+def render_prepare_sql(definition: SummaryViewDefinition, deletion: bool) -> str:
+    """Render the prepare-insertions (``pi_``) or prepare-deletions (``pd_``)
+    view for a summary view, as in the paper's Figure 6."""
+    prefix = "pd" if deletion else "pi"
+    change_table = f"{definition.fact.name}_{'del' if deletion else 'ins'}"
+    header = (
+        list(definition.group_by)
+        + [f"_{output.name}" for output in definition.aggregates]
+    )
+    select_items = list(definition.group_by) + [
+        _source_item(definition, output, deletion)
+        for output in definition.aggregates
+    ]
+    from_clause, where_clause = _from_where(definition, change_table)
+    lines = [
+        f"CREATE VIEW {prefix}_{definition.name}({', '.join(header)}) AS",
+        f"SELECT {', '.join(select_items)}",
+        from_clause,
+    ]
+    if where_clause:
+        lines.append(where_clause)
+    return "\n".join(lines)
+
+
+def render_prepare_changes_sql(definition: SummaryViewDefinition) -> str:
+    """Render the prepare-changes (``pc_``) view: the UNION ALL of the
+    prepare-insertions and prepare-deletions views."""
+    header = (
+        list(definition.group_by)
+        + [f"_{output.name}" for output in definition.aggregates]
+    )
+    return "\n".join(
+        [
+            f"CREATE VIEW pc_{definition.name}({', '.join(header)}) AS",
+            "SELECT *",
+            f"FROM (pi_{definition.name} UNION ALL pd_{definition.name})",
+        ]
+    )
+
+
+def _delta_aggregate_item(output) -> str:
+    """How the summary-delta query aggregates one prepare-changes source."""
+    function = output.function
+    source_column = f"_{output.name}"
+    if isinstance(function, (CountStar, Count, Sum)):
+        return f"SUM({source_column}) AS sd_{output.name}"
+    if isinstance(function, Min):
+        return f"MIN({source_column}) AS sd_{output.name}"
+    if isinstance(function, Max):
+        return f"MAX({source_column}) AS sd_{output.name}"
+    raise AssertionError(f"unsupported aggregate in delta rendering: {function!r}")
+
+
+def render_summary_delta_sql(definition: SummaryViewDefinition) -> str:
+    """Render the summary-delta view over prepare-changes (Section 4.1.2)."""
+    header = list(definition.group_by) + [
+        f"sd_{output.name}" for output in definition.aggregates
+    ]
+    select_items = list(definition.group_by) + [
+        _delta_aggregate_item(output) for output in definition.aggregates
+    ]
+    lines = [
+        f"CREATE VIEW sd_{definition.name}({', '.join(header)}) AS",
+        f"SELECT {', '.join(select_items)}",
+        f"FROM pc_{definition.name}",
+    ]
+    if definition.group_by:
+        lines.append(f"GROUP BY {', '.join(definition.group_by)}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Warehouse layer: star schema, deferred changes, batch-window accounting."""
+
+from .batch import BatchReport, BatchWindowClock, Phase
+from .catalog import Warehouse
+from .changes import ChangeSet
+from .dimension import DimensionHierarchy, DimensionTable
+from .fact import FactTable, ForeignKey
+from .nightly import NightlyResult, run_nightly_maintenance
+
+__all__ = [
+    "BatchReport",
+    "BatchWindowClock",
+    "ChangeSet",
+    "DimensionHierarchy",
+    "DimensionTable",
+    "FactTable",
+    "ForeignKey",
+    "NightlyResult",
+    "Phase",
+    "Warehouse",
+    "run_nightly_maintenance",
+]

@@ -1,0 +1,99 @@
+"""Batch-window accounting: how long is the warehouse offline?
+
+The paper's central operational claim is that splitting maintenance into
+*propagate* (runs while the warehouse stays readable) and *refresh* (runs
+inside the nightly batch window, warehouse offline) shrinks the window.
+This module provides the stopwatch used by the maintenance drivers and the
+benchmarks: phases are recorded with wall-clock durations and classified as
+online or offline, and a :class:`BatchReport` summarises the window.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One timed maintenance phase."""
+
+    name: str
+    seconds: float
+    offline: bool
+
+
+@dataclass
+class BatchReport:
+    """Accumulated timing for one maintenance run.
+
+    ``offline_seconds`` is the simulated batch window (refresh and base-table
+    update); ``online_seconds`` is work overlapped with query service
+    (propagate).
+    """
+
+    phases: list[Phase] = field(default_factory=list)
+
+    @property
+    def online_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases if not p.offline)
+
+    @property
+    def offline_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases if p.offline)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.online_seconds + self.offline_seconds
+
+    def seconds_for(self, name: str) -> float:
+        """Total seconds across phases called *name*."""
+        return sum(p.seconds for p in self.phases if p.name == name)
+
+    def merge(self, other: "BatchReport") -> "BatchReport":
+        """Return a report combining both runs' phases."""
+        return BatchReport(phases=self.phases + other.phases)
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        return (
+            f"online {self.online_seconds:.3f}s, "
+            f"offline (batch window) {self.offline_seconds:.3f}s, "
+            f"total {self.total_seconds:.3f}s"
+        )
+
+
+class BatchWindowClock:
+    """Records named phases into a :class:`BatchReport`.
+
+    Usage::
+
+        clock = BatchWindowClock()
+        with clock.online("propagate"):
+            ...   # summary-delta computation; warehouse stays readable
+        with clock.offline("refresh"):
+            ...   # summary tables locked
+        report = clock.report
+    """
+
+    def __init__(self) -> None:
+        self.report = BatchReport()
+
+    @contextmanager
+    def _timed(self, name: str, offline: bool) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.report.phases.append(Phase(name, elapsed, offline))
+
+    def online(self, name: str) -> Iterator[None]:
+        """Time an online phase (warehouse available to readers)."""
+        return self._timed(name, offline=False)
+
+    def offline(self, name: str) -> Iterator[None]:
+        """Time an offline phase (inside the batch window)."""
+        return self._timed(name, offline=True)

@@ -1,0 +1,149 @@
+"""The warehouse catalog: base tables, summary tables, deferred changes.
+
+:class:`Warehouse` is the top-level stateful object an application works
+with.  It owns the fact tables, dimension tables, materialised summary
+tables, and per-fact-table deferred :class:`~repro.warehouse.changes.ChangeSet`
+objects.  Maintenance drivers (:mod:`repro.core.maintenance` for one view,
+:mod:`repro.lattice.plan` for a lattice of views) operate on a warehouse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..errors import DefinitionError, TableError
+from ..views.definition import SummaryViewDefinition
+from ..views.materialize import MaterializedView
+from .changes import ChangeSet
+from .dimension import DimensionTable
+from .fact import FactTable
+
+
+class Warehouse:
+    """A star-schema warehouse with materialised summary tables."""
+
+    def __init__(self) -> None:
+        self.facts: dict[str, FactTable] = {}
+        self.dimensions: dict[str, DimensionTable] = {}
+        self.views: dict[str, MaterializedView] = {}
+        self._pending: dict[str, ChangeSet] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_dimension(self, dimension: DimensionTable) -> DimensionTable:
+        """Register a dimension table."""
+        if dimension.name in self.dimensions:
+            raise TableError(f"dimension {dimension.name!r} already registered")
+        self.dimensions[dimension.name] = dimension
+        return dimension
+
+    def add_fact(self, fact: FactTable) -> FactTable:
+        """Register a fact table (its dimensions are registered implicitly)."""
+        if fact.name in self.facts:
+            raise TableError(f"fact table {fact.name!r} already registered")
+        self.facts[fact.name] = fact
+        for fk in fact.foreign_keys:
+            if fk.dimension.name not in self.dimensions:
+                self.dimensions[fk.dimension.name] = fk.dimension
+        return fact
+
+    def define_summary_table(
+        self, definition: SummaryViewDefinition
+    ) -> MaterializedView:
+        """Resolve, materialise, index, and register a summary table."""
+        if definition.name in self.views:
+            raise DefinitionError(
+                f"summary table {definition.name!r} already defined"
+            )
+        if definition.fact.name not in self.facts:
+            raise DefinitionError(
+                f"view {definition.name!r} references unregistered fact table "
+                f"{definition.fact.name!r}"
+            )
+        view = MaterializedView.build(definition)
+        self.views[definition.name] = view
+        return view
+
+    def view(self, name: str) -> MaterializedView:
+        """Look up a summary table by name."""
+        try:
+            return self.views[name]
+        except KeyError:
+            raise DefinitionError(f"no summary table named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Deferred changes
+    # ------------------------------------------------------------------
+
+    def pending_changes(self, fact_name: str) -> ChangeSet:
+        """The deferred change set for *fact_name* (created on demand)."""
+        if fact_name not in self.facts:
+            raise TableError(f"no fact table named {fact_name!r}")
+        changes = self._pending.get(fact_name)
+        if changes is None:
+            changes = ChangeSet(fact_name, self.facts[fact_name].table.schema)
+            self._pending[fact_name] = changes
+        return changes
+
+    def stage_insertions(self, fact_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Defer insertions into *fact_name*."""
+        return self.pending_changes(fact_name).insert_many(rows)
+
+    def stage_deletions(self, fact_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Defer deletions from *fact_name*."""
+        return self.pending_changes(fact_name).delete_many(rows)
+
+    def apply_pending_to_base(self, fact_name: str) -> None:
+        """Apply the deferred changes to the base fact table (keeping the
+        change set available for view maintenance)."""
+        changes = self.pending_changes(fact_name)
+        changes.apply_to(self.facts[fact_name].table)
+
+    def discard_pending(self, fact_name: str) -> None:
+        """Drop the deferred change set after maintenance completes."""
+        self.pending_changes(fact_name).clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def views_over(self, fact_name: str) -> list[MaterializedView]:
+        """All summary tables defined over *fact_name*."""
+        return [
+            view for view in self.views.values()
+            if view.definition.fact.name == fact_name
+        ]
+
+    def verify_views(self) -> dict[str, bool]:
+        """Check every summary table against from-scratch recomputation.
+
+        An operational safety net: run it after maintenance (or after a
+        crash) to confirm no view has drifted from its definition.  Returns
+        ``{view_name: consistent}``; raises nothing.
+        """
+        from ..views.materialize import compute_rows
+
+        results: dict[str, bool] = {}
+        for name, view in self.views.items():
+            expected = compute_rows(view.definition).sorted_rows()
+            results[name] = view.table.sorted_rows() == expected
+        return results
+
+    def assert_views_consistent(self) -> None:
+        """Like :meth:`verify_views` but raises on the first stale view."""
+        from ..errors import MaintenanceError
+
+        for name, consistent in self.verify_views().items():
+            if not consistent:
+                raise MaintenanceError(
+                    f"summary table {name!r} does not match recomputation "
+                    "from its base data"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Warehouse({len(self.facts)} facts, {len(self.dimensions)} "
+            f"dimensions, {len(self.views)} summary tables)"
+        )

@@ -1,0 +1,117 @@
+"""Deferred change sets: the ``pos_ins`` / ``pos_del`` tables.
+
+Warehouses defer source changes during the day and apply them in a nightly
+batch (paper, Sections 1–2).  A :class:`ChangeSet` holds the deferred
+insertions and deletions for one base table, in tables sharing that base
+table's schema.  The maintenance algorithms read the change set during
+*propagate*; :meth:`ChangeSet.apply_to` applies it to the base table (before
+*refresh*, as the paper assumes, so MIN/MAX recomputation sees updated base
+data).
+
+Deletion semantics are bag-style: each deletion row removes exactly one
+matching occurrence from the base table.  Applying a deletion that matches
+nothing raises :class:`~repro.errors.InconsistentDeltaError`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Sequence
+
+from ..errors import InconsistentDeltaError, TableError
+from ..relational.schema import Schema
+from ..relational.table import Row, Table
+
+
+class ChangeSet:
+    """Deferred insertions and deletions for one base table.
+
+    Parameters
+    ----------
+    base_name:
+        Name of the table the changes apply to (e.g. ``"pos"``); used to
+        name the change tables ``{base_name}_ins`` / ``{base_name}_del`` as
+        in the paper.
+    schema:
+        The base table's schema.
+    """
+
+    def __init__(self, base_name: str, schema: Schema | Sequence[str]):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.base_name = base_name
+        self.insertions = Table(f"{base_name}_ins", schema)
+        self.deletions = Table(f"{base_name}_del", schema)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChangeSet({self.base_name!r}, +{len(self.insertions)} "
+            f"-{len(self.deletions)})"
+        )
+
+    @property
+    def schema(self) -> Schema:
+        return self.insertions.schema
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Defer an insertion."""
+        self.insertions.insert(row)
+
+    def delete(self, row: Sequence[Any]) -> None:
+        """Defer a deletion (one bag occurrence of *row*)."""
+        self.deletions.insert(row)
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        return self.insertions.insert_many(rows)
+
+    def delete_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        return self.deletions.insert_many(rows)
+
+    def size(self) -> int:
+        """Total number of deferred change tuples."""
+        return len(self.insertions) + len(self.deletions)
+
+    def is_empty(self) -> bool:
+        return self.size() == 0
+
+    def clear(self) -> None:
+        """Drop all deferred changes (after they have been applied)."""
+        self.insertions.truncate()
+        self.deletions.truncate()
+
+    def apply_to(self, base: Table) -> None:
+        """Apply the deferred changes to *base* in bulk.
+
+        Deletions are applied first by counting requested rows and removing
+        matching slots in a single scan (so the cost is one pass over the
+        base table, independent of the number of deletions), then insertions
+        are appended.
+        """
+        if base.schema != self.schema:
+            raise TableError(
+                f"change set for {self.base_name!r} does not match schema of "
+                f"table {base.name!r}"
+            )
+        if len(self.deletions):
+            wanted: Counter[Row] = Counter(self.deletions.scan())
+            remaining = sum(wanted.values())
+            doomed_slots: list[int] = []
+            for slot, row in enumerate(base._rows):  # noqa: SLF001 - bulk path
+                if remaining == 0:
+                    break
+                if row is None:
+                    continue
+                count = wanted.get(row, 0)
+                if count:
+                    wanted[row] = count - 1
+                    remaining -= 1
+                    doomed_slots.append(slot)
+            if remaining:
+                missing = [row for row, count in wanted.items() if count > 0]
+                raise InconsistentDeltaError(
+                    f"{remaining} deferred deletion(s) match no row in "
+                    f"{base.name!r}; first missing row: {missing[0]!r}"
+                )
+            for slot in doomed_slots:
+                base.delete_slot(slot)
+        base.insert_many(self.insertions.scan())

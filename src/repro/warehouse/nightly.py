@@ -1,0 +1,77 @@
+"""The nightly maintenance driver: one call to maintain a whole warehouse.
+
+This is the operational entry point a deployment would schedule: for every
+fact table with deferred changes, maintain all its summary tables through
+the summary-delta lattice, apply the base changes, clear the change sets,
+and report the batch-window split.  Fact tables without pending changes
+are skipped entirely — their summary tables need no work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MaintenanceError
+from .batch import BatchReport, BatchWindowClock
+from .catalog import Warehouse
+
+
+@dataclass
+class NightlyResult:
+    """Outcome of one warehouse-wide nightly run."""
+
+    #: Per-fact-table maintenance results (only facts that had changes).
+    per_fact: dict[str, object] = field(default_factory=dict)
+    report: BatchReport = field(default_factory=BatchReport)
+
+    @property
+    def facts_maintained(self) -> list[str]:
+        return sorted(self.per_fact)
+
+    @property
+    def views_maintained(self) -> int:
+        return sum(len(result.stats) for result in self.per_fact.values())
+
+
+def run_nightly_maintenance(
+    warehouse: Warehouse,
+    verify: bool = False,
+    **maintain_kwargs,
+) -> NightlyResult:
+    """Maintain every summary table of every changed fact table.
+
+    Keyword arguments are forwarded to
+    :func:`repro.lattice.plan.maintain_lattice` (options, variant,
+    use_lattice, auxiliary, ...).  With ``verify=True`` the run finishes by
+    checking every summary table against recomputation — expensive, but the
+    definitive post-deployment smoke test.
+    """
+    from ..lattice.plan import maintain_lattice
+
+    clock: BatchWindowClock = maintain_kwargs.pop("clock", None) or BatchWindowClock()
+    result = NightlyResult(report=clock.report)
+
+    for fact_name in sorted(warehouse.facts):
+        changes = warehouse.pending_changes(fact_name)
+        if changes.is_empty():
+            continue
+        views = warehouse.views_over(fact_name)
+        if views:
+            result.per_fact[fact_name] = maintain_lattice(
+                views, changes, clock=clock, **maintain_kwargs
+            )
+        else:
+            with clock.offline("apply-base"):
+                changes.apply_to(warehouse.facts[fact_name].table)
+        warehouse.discard_pending(fact_name)
+
+    if verify:
+        stale = [
+            name for name, consistent in warehouse.verify_views().items()
+            if not consistent
+        ]
+        if stale:
+            raise MaintenanceError(
+                f"nightly verification failed for views: {stale}"
+            )
+    return result

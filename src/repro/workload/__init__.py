@@ -1,0 +1,43 @@
+"""Synthetic workloads: the retail star schema and the paper's change mixes."""
+
+from .changes import (
+    expiration_changes,
+    insertion_generating_changes,
+    update_generating_changes,
+)
+from .generator import (
+    RetailConfig,
+    RetailData,
+    generate_items,
+    generate_pos_row,
+    generate_retail,
+    generate_stores,
+    sample_identifier,
+)
+from .retail import (
+    build_retail_warehouse,
+    retail_view_definitions,
+    scd_sales,
+    sic_sales,
+    sid_sales,
+    sr_sales,
+)
+
+__all__ = [
+    "RetailConfig",
+    "RetailData",
+    "build_retail_warehouse",
+    "expiration_changes",
+    "generate_items",
+    "generate_pos_row",
+    "generate_retail",
+    "generate_stores",
+    "insertion_generating_changes",
+    "retail_view_definitions",
+    "sample_identifier",
+    "scd_sales",
+    "sic_sales",
+    "sid_sales",
+    "sr_sales",
+    "update_generating_changes",
+]

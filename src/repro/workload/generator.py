@@ -1,0 +1,160 @@
+"""Synthetic retail data matching the paper's experimental setup.
+
+The paper's Section 6 testbed: a ``pos`` fact table of 100,000–500,000
+tuples over the running-example star schema, with a composite index on
+``(storeID, itemID, date)``, dimension tables ``stores`` and ``items``, and
+change sets of 1,000–10,000 tuples.  The proprietary data behind it is
+unavailable, so we regenerate it synthetically (see DESIGN.md):
+
+* ``stores``: ``n_stores`` stores spread over ``n_cities`` cities in
+  ``n_regions`` regions (a valid ``storeID → city → region`` hierarchy);
+* ``items``: ``n_items`` items over ``n_categories`` categories;
+* ``pos``: uniform draws over (store, item, date ∈ [1, n_dates]), quantity
+  1–10, price from the item's cost times a margin.
+
+Dates are integers (day numbers) — totally ordered, as MIN(date) needs.
+Everything is driven by a seeded :class:`random.Random`, so workloads are
+reproducible run to run.
+
+The default domain (100 stores × 200 items × 25 dates = 500k possible
+groups at the finest granularity) is chosen so that the paper's observed
+effects appear: at pos = 500k the average group multiplicity is ~1 with a
+substantial collision fraction, so deletions sometimes empty a group
+(view-tuple deletes) and sometimes do not (view-tuple updates) — the effect
+behind Figure 9(b)'s falling refresh curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from itertools import accumulate
+
+from ..errors import WorkloadError
+from ..warehouse.dimension import DimensionHierarchy, DimensionTable
+from ..warehouse.fact import FactTable, ForeignKey
+
+
+@dataclass(frozen=True)
+class RetailConfig:
+    """Knobs for the synthetic retail warehouse.
+
+    ``skew`` makes store and item popularity Zipf-like: id *i* is drawn
+    with probability ∝ 1/i^skew.  0.0 (the default) is uniform, matching
+    the paper-scale benchmarks; ~1.0 approximates real retail traffic where
+    a few stores and items dominate.
+    """
+
+    n_stores: int = 100
+    n_cities: int = 20
+    n_regions: int = 5
+    n_items: int = 200
+    n_categories: int = 20
+    n_dates: int = 25
+    pos_rows: int = 100_000
+    seed: int = 1997
+    skew: float = 0.0
+
+    def validate(self) -> None:
+        if not (1 <= self.n_regions <= self.n_cities <= self.n_stores):
+            raise WorkloadError(
+                "need n_regions <= n_cities <= n_stores, all positive"
+            )
+        if not (1 <= self.n_categories <= self.n_items):
+            raise WorkloadError("need n_categories <= n_items, both positive")
+        if self.n_dates < 1 or self.pos_rows < 0:
+            raise WorkloadError("n_dates must be >= 1 and pos_rows >= 0")
+        if self.skew < 0:
+            raise WorkloadError("skew must be non-negative")
+
+
+@lru_cache(maxsize=32)
+def _zipf_cumulative_weights(n: int, skew: float) -> tuple[float, ...] | None:
+    """Cumulative Zipf weights for ids 1..n, or ``None`` for uniform."""
+    if skew <= 0:
+        return None
+    return tuple(accumulate(1.0 / (i ** skew) for i in range(1, n + 1)))
+
+
+def sample_identifier(rng: random.Random, n: int, skew: float) -> int:
+    """Draw an id from 1..n, uniformly or Zipf-skewed."""
+    cumulative = _zipf_cumulative_weights(n, skew)
+    if cumulative is None:
+        return rng.randint(1, n)
+    return rng.choices(range(1, n + 1), cum_weights=cumulative, k=1)[0]
+
+
+@dataclass
+class RetailData:
+    """A generated star schema, ready to register in a warehouse."""
+
+    config: RetailConfig
+    stores: DimensionTable
+    items: DimensionTable
+    pos: FactTable
+    rng: random.Random = field(repr=False, default_factory=random.Random)
+
+
+def generate_stores(config: RetailConfig, rng: random.Random) -> DimensionTable:
+    """``stores(storeID, city, region)`` with a valid FD chain."""
+    rows = []
+    for store_id in range(1, config.n_stores + 1):
+        city = (store_id - 1) % config.n_cities + 1
+        region = (city - 1) % config.n_regions + 1
+        rows.append((store_id, f"city{city:03d}", f"region{region:02d}"))
+    return DimensionTable(
+        "stores",
+        ["storeID", "city", "region"],
+        rows,
+        hierarchy=DimensionHierarchy("stores", ["storeID", "city", "region"]),
+    )
+
+
+def generate_items(config: RetailConfig, rng: random.Random) -> DimensionTable:
+    """``items(itemID, name, category, cost)`` with a valid FD chain."""
+    rows = []
+    for item_id in range(1, config.n_items + 1):
+        category = (item_id - 1) % config.n_categories + 1
+        cost = round(rng.uniform(0.5, 50.0), 2)
+        rows.append((item_id, f"item{item_id:04d}", f"cat{category:02d}", cost))
+    return DimensionTable(
+        "items",
+        ["itemID", "name", "category", "cost"],
+        rows,
+        hierarchy=DimensionHierarchy("items", ["itemID", "category"]),
+    )
+
+
+def generate_pos_row(
+    config: RetailConfig, rng: random.Random, date: int | None = None
+) -> tuple:
+    """One ``pos(storeID, itemID, date, qty, price)`` tuple."""
+    store_id = sample_identifier(rng, config.n_stores, config.skew)
+    item_id = sample_identifier(rng, config.n_items, config.skew)
+    if date is None:
+        date = rng.randint(1, config.n_dates)
+    qty = rng.randint(1, 10)
+    price = round(rng.uniform(1.0, 60.0), 2)
+    return (store_id, item_id, date, qty, price)
+
+
+def generate_retail(config: RetailConfig | None = None) -> RetailData:
+    """Generate the full star schema of the running example."""
+    config = config or RetailConfig()
+    config.validate()
+    rng = random.Random(config.seed)
+    stores = generate_stores(config, rng)
+    items = generate_items(config, rng)
+    pos = FactTable(
+        "pos",
+        ["storeID", "itemID", "date", "qty", "price"],
+        [ForeignKey("storeID", stores), ForeignKey("itemID", items)],
+        (generate_pos_row(config, rng) for _ in range(config.pos_rows)),
+    )
+    # The paper's composite index on the fact table, plus domain tracking
+    # for the low-cardinality date column so index-assisted MIN/MAX
+    # recomputation (repro.core.recompute) can enumerate candidate keys.
+    pos.table.create_index(["storeID", "itemID", "date"])
+    pos.table.track_domain("date")
+    return RetailData(config=config, stores=stores, items=items, pos=pos, rng=rng)

@@ -1,0 +1,107 @@
+"""The running example's four summary tables (paper, Figure 1).
+
+``SID_sales``
+    groups ``pos`` by (storeID, itemID, date); COUNT(*), SUM(qty).
+``sCD_sales``
+    groups ``pos ⋈ stores`` by city and date; COUNT(*), SUM(qty).  In
+    lattice-friendly form (the default, matching the optimized lattice of
+    Figure 8 and the summary-delta definitions of Figure 3) the functionally
+    determined ``region`` attribute is carried along so ``sR_sales`` can be
+    derived from it without re-joining ``stores``.
+``SiC_sales``
+    groups ``pos ⋈ items`` by (storeID, category); COUNT(*), MIN(date) as
+    EarliestSale, SUM(qty).
+``sR_sales``
+    groups ``pos ⋈ stores`` by region; COUNT(*), SUM(qty).
+"""
+
+from __future__ import annotations
+
+from ..aggregates.standard import CountStar, Min, Sum
+from ..relational.expressions import col
+from ..views.definition import SummaryViewDefinition
+from ..warehouse.catalog import Warehouse
+from ..warehouse.fact import FactTable
+from .generator import RetailData
+
+
+def sid_sales(pos: FactTable) -> SummaryViewDefinition:
+    """Figure 1's ``SID_sales``."""
+    return SummaryViewDefinition.create(
+        "SID_sales",
+        pos,
+        group_by=["storeID", "itemID", "date"],
+        aggregates=[
+            ("TotalCount", CountStar()),
+            ("TotalQuantity", Sum(col("qty"))),
+        ],
+    )
+
+
+def scd_sales(pos: FactTable, lattice_friendly: bool = True) -> SummaryViewDefinition:
+    """Figure 1's ``sCD_sales`` (with ``region`` added when lattice-friendly,
+    as in Figure 3 / Figure 8)."""
+    group_by = ["city", "region", "date"] if lattice_friendly else ["city", "date"]
+    return SummaryViewDefinition.create(
+        "sCD_sales",
+        pos,
+        group_by=group_by,
+        aggregates=[
+            ("TotalCount", CountStar()),
+            ("TotalQuantity", Sum(col("qty"))),
+        ],
+        dimensions=["stores"],
+    )
+
+
+def sic_sales(pos: FactTable) -> SummaryViewDefinition:
+    """Figure 1's ``SiC_sales`` (note MIN(date): date is used both as a
+    dimension and as a measure, as the paper highlights)."""
+    return SummaryViewDefinition.create(
+        "SiC_sales",
+        pos,
+        group_by=["storeID", "category"],
+        aggregates=[
+            ("TotalCount", CountStar()),
+            ("EarliestSale", Min(col("date"))),
+            ("TotalQuantity", Sum(col("qty"))),
+        ],
+        dimensions=["items"],
+    )
+
+
+def sr_sales(pos: FactTable) -> SummaryViewDefinition:
+    """Figure 1's ``sR_sales``."""
+    return SummaryViewDefinition.create(
+        "sR_sales",
+        pos,
+        group_by=["region"],
+        aggregates=[
+            ("TotalCount", CountStar()),
+            ("TotalQuantity", Sum(col("qty"))),
+        ],
+        dimensions=["stores"],
+    )
+
+
+def retail_view_definitions(
+    pos: FactTable, lattice_friendly: bool = True
+) -> list[SummaryViewDefinition]:
+    """All four Figure 1 summary tables, in the paper's order."""
+    return [
+        sid_sales(pos),
+        scd_sales(pos, lattice_friendly),
+        sic_sales(pos),
+        sr_sales(pos),
+    ]
+
+
+def build_retail_warehouse(
+    data: RetailData, lattice_friendly: bool = True
+) -> Warehouse:
+    """Register the star schema and materialise the four summary tables."""
+    warehouse = Warehouse()
+    warehouse.add_fact(data.pos)
+    for definition in retail_view_definitions(data.pos, lattice_friendly):
+        warehouse.define_summary_table(definition)
+    return warehouse

@@ -1,0 +1,83 @@
+"""Aggregate classification and rejection of unsupported functions."""
+
+import pytest
+
+from repro.aggregates import (
+    AggregateClass,
+    Avg,
+    Count,
+    CountDistinct,
+    CountStar,
+    Max,
+    Median,
+    Min,
+    Sum,
+)
+from repro.errors import UnsupportedAggregateError
+from repro.relational import col
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "function",
+        [CountStar(), Count(col("x")), Sum(col("x")), Min(col("x")), Max(col("x"))],
+    )
+    def test_distributive(self, function):
+        assert function.aggregate_class is AggregateClass.DISTRIBUTIVE
+
+    def test_avg_is_algebraic(self):
+        assert Avg(col("x")).aggregate_class is AggregateClass.ALGEBRAIC
+
+    def test_median_is_holistic(self):
+        assert Median(col("x")).aggregate_class is AggregateClass.HOLISTIC
+
+    def test_count_distinct_not_supported(self):
+        # The paper: COUNT(DISTINCT E) is no longer distributive.
+        with pytest.raises(UnsupportedAggregateError):
+            CountDistinct(col("x")).ensure_supported()
+
+    def test_median_rejected(self):
+        with pytest.raises(UnsupportedAggregateError, match="holistic"):
+            Median(col("x")).ensure_supported()
+
+    def test_distributive_pass_ensure_supported(self):
+        CountStar().ensure_supported()
+        Sum(col("x")).ensure_supported()
+
+
+class TestAvgDecomposition:
+    def test_components(self):
+        total, count = Avg(col("x")).components()
+        assert total == Sum(col("x"))
+        assert count == Count(col("x"))
+
+    def test_components_are_sum_and_count(self):
+        total, count = Avg(col("x")).components()
+        assert isinstance(total, Sum) and isinstance(count, Count)
+        assert total.argument == col("x") and count.argument == col("x")
+
+    def test_avg_cannot_be_materialised_directly(self):
+        with pytest.raises(UnsupportedAggregateError, match="decomposed"):
+            Avg(col("x")).base_reducer()
+
+
+class TestIdentity:
+    def test_equality_by_kind_and_argument(self):
+        assert Sum(col("x")) == Sum(col("x"))
+        assert Sum(col("x")) != Sum(col("y"))
+        assert Sum(col("x")) != Min(col("x"))
+        assert CountStar() == CountStar()
+
+    def test_hashable(self):
+        assert len({Sum(col("x")), Sum(col("x")), Min(col("x"))}) == 2
+
+    def test_render(self):
+        assert Sum(col("qty")).render() == "SUM(qty)"
+        assert CountStar().render() == "COUNT(*)"
+        assert Min(col("date")).render() == "MIN(date)"
+        assert Avg(col("qty")).render() == "AVG(qty)"
+        assert CountDistinct(col("x")).render() == "COUNT(DISTINCT x)"
+
+    def test_referenced_columns(self):
+        assert Sum(col("a") * col("b")).referenced_columns() == {"a", "b"}
+        assert CountStar().referenced_columns() == frozenset()

@@ -1,0 +1,52 @@
+"""Definition 3.1 facts: self-maintainability w.r.t. insertions/deletions."""
+
+import pytest
+
+from repro.aggregates import Count, CountStar, Max, Min, Sum
+from repro.relational import col
+
+
+class TestInsertions:
+    @pytest.mark.parametrize(
+        "function",
+        [CountStar(), Count(col("x")), Sum(col("x")), Min(col("x")), Max(col("x"))],
+    )
+    def test_all_distributive_functions_self_maintainable_on_insert(self, function):
+        assert function.self_maintainability().on_insert
+
+
+class TestDeletions:
+    def test_count_star_self_maintainable_unconditionally(self):
+        facts = CountStar().self_maintainability()
+        assert facts.on_delete and facts.on_delete_requires == ()
+
+    def test_count_expr_needs_count_star(self):
+        facts = Count(col("x")).self_maintainability()
+        assert facts.on_delete
+        assert "count_star" in facts.on_delete_requires
+
+    def test_sum_needs_counts(self):
+        facts = Sum(col("x")).self_maintainability()
+        assert facts.on_delete
+        assert set(facts.on_delete_requires) == {"count_star", "count"}
+
+    @pytest.mark.parametrize("function_type", [Min, Max])
+    def test_minmax_not_self_maintainable(self, function_type):
+        # The paper: MIN/MAX cannot be made self-maintainable w.r.t.
+        # deletions; refresh must sometimes consult the base data.
+        assert not function_type(col("x")).self_maintainability().on_delete
+
+
+class TestCompanions:
+    def test_count_star_needs_no_companions(self):
+        assert CountStar().companions_for_self_maintenance() == ()
+
+    def test_count_expr_companion_is_count_star(self):
+        companions = Count(col("x")).companions_for_self_maintenance()
+        assert companions == (CountStar(),)
+
+    @pytest.mark.parametrize("function_type", [Sum, Min, Max])
+    def test_value_aggregates_need_count_star_and_count_e(self, function_type):
+        companions = function_type(col("x")).companions_for_self_maintenance()
+        assert CountStar() in companions
+        assert Count(col("x")) in companions

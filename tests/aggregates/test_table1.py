@@ -1,0 +1,73 @@
+"""The paper's Table 1: aggregate-source derivations for prepare views.
+
+Each row of Table 1 is asserted both symbolically (rendered SQL) and
+semantically (evaluating the derived expressions over sample rows).
+"""
+
+import pytest
+
+from repro.aggregates import Count, CountStar, Max, Min, Sum
+from repro.relational import Schema, col
+
+SCHEMA = Schema(["qty", "price"])
+
+
+def value(expr, row):
+    return expr.bind(SCHEMA)(row)
+
+
+class TestCountStarRow:
+    def test_insertion_source_is_one(self):
+        assert value(CountStar().insertion_source(), (5, 1.0)) == 1
+
+    def test_deletion_source_is_minus_one(self):
+        assert value(CountStar().deletion_source(), (5, 1.0)) == -1
+
+    def test_rendered_sql(self):
+        assert CountStar().insertion_source().render() == "1"
+        assert CountStar().deletion_source().render() == "-1"
+
+
+class TestCountExprRow:
+    def test_insertion_source_counts_non_null(self):
+        source = Count(col("qty")).insertion_source()
+        assert value(source, (5, 1.0)) == 1
+        assert value(source, (None, 1.0)) == 0
+
+    def test_deletion_source_counts_non_null_negatively(self):
+        source = Count(col("qty")).deletion_source()
+        assert value(source, (5, 1.0)) == -1
+        assert value(source, (None, 1.0)) == 0
+
+    def test_rendered_case_statement(self):
+        rendered = Count(col("qty")).insertion_source().render()
+        assert rendered == "CASE WHEN (qty IS NULL) THEN 0 ELSE 1 END"
+        rendered = Count(col("qty")).deletion_source().render()
+        assert rendered == "CASE WHEN (qty IS NULL) THEN 0 ELSE -1 END"
+
+
+class TestSumRow:
+    def test_insertion_source_is_expr(self):
+        assert value(Sum(col("qty")).insertion_source(), (5, 1.0)) == 5
+
+    def test_deletion_source_is_negated_expr(self):
+        assert value(Sum(col("qty")).deletion_source(), (5, 1.0)) == -5
+
+    def test_null_passes_through(self):
+        assert value(Sum(col("qty")).insertion_source(), (None, 1.0)) is None
+        assert value(Sum(col("qty")).deletion_source(), (None, 1.0)) is None
+
+    def test_works_on_compound_expressions(self):
+        source = Sum(col("qty") * col("price"))
+        assert value(source.insertion_source(), (2, 3.0)) == 6.0
+        assert value(source.deletion_source(), (2, 3.0)) == -6.0
+
+
+@pytest.mark.parametrize("function_type", [Min, Max])
+class TestMinMaxRows:
+    def test_insertion_source_is_expr(self, function_type):
+        assert value(function_type(col("qty")).insertion_source(), (5, 1.0)) == 5
+
+    def test_deletion_source_is_also_expr(self, function_type):
+        # Table 1: MIN/MAX deletions carry the value itself, NOT its negation.
+        assert value(function_type(col("qty")).deletion_source(), (5, 1.0)) == 5

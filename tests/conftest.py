@@ -1,0 +1,153 @@
+"""Shared fixtures: a tiny hand-built retail star schema, and helpers that
+verify a maintained view against from-scratch recomputation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aggregates import CountStar, Max, Min, Sum
+from repro.relational import col
+from repro.views import SummaryViewDefinition, compute_rows
+from repro.warehouse import (
+    DimensionHierarchy,
+    DimensionTable,
+    FactTable,
+    ForeignKey,
+    Warehouse,
+)
+
+
+def make_stores() -> DimensionTable:
+    """stores(storeID, city, region) with storeID → city → region."""
+    return DimensionTable(
+        "stores",
+        ["storeID", "city", "region"],
+        [
+            (1, "sf", "west"),
+            (2, "la", "west"),
+            (3, "nyc", "east"),
+            (4, "boston", "east"),
+        ],
+        hierarchy=DimensionHierarchy("stores", ["storeID", "city", "region"]),
+    )
+
+
+def make_items() -> DimensionTable:
+    """items(itemID, name, category, cost) with itemID → category."""
+    return DimensionTable(
+        "items",
+        ["itemID", "name", "category", "cost"],
+        [
+            (10, "apple", "fruit", 1.0),
+            (11, "beer", "drink", 2.0),
+            (12, "cola", "drink", 1.5),
+            (13, "pear", "fruit", 1.2),
+        ],
+        hierarchy=DimensionHierarchy("items", ["itemID", "category"]),
+    )
+
+
+DEFAULT_POS_ROWS = [
+    # (storeID, itemID, date, qty, price); duplicates intentional (bag).
+    (1, 10, 1, 2, 1.0),
+    (1, 10, 1, 3, 1.1),
+    (1, 11, 2, 1, 2.0),
+    (2, 11, 2, 4, 2.1),
+    (2, 12, 3, 5, 1.6),
+    (3, 10, 1, 6, 1.0),
+    (3, 13, 4, 2, 1.3),
+    (4, 12, 2, 1, 1.5),
+    (4, 12, 2, 1, 1.5),
+]
+
+
+def make_pos(stores: DimensionTable, items: DimensionTable, rows=None) -> FactTable:
+    pos = FactTable(
+        "pos",
+        ["storeID", "itemID", "date", "qty", "price"],
+        [ForeignKey("storeID", stores), ForeignKey("itemID", items)],
+        DEFAULT_POS_ROWS if rows is None else rows,
+    )
+    pos.table.create_index(["storeID", "itemID", "date"])
+    return pos
+
+
+@pytest.fixture
+def stores() -> DimensionTable:
+    return make_stores()
+
+
+@pytest.fixture
+def items() -> DimensionTable:
+    return make_items()
+
+
+@pytest.fixture
+def pos(stores, items) -> FactTable:
+    return make_pos(stores, items)
+
+
+@pytest.fixture
+def warehouse(pos) -> Warehouse:
+    wh = Warehouse()
+    wh.add_fact(pos)
+    return wh
+
+
+def sid_definition(pos: FactTable) -> SummaryViewDefinition:
+    return SummaryViewDefinition.create(
+        "SID_sales",
+        pos,
+        group_by=["storeID", "itemID", "date"],
+        aggregates=[
+            ("TotalCount", CountStar()),
+            ("TotalQuantity", Sum(col("qty"))),
+        ],
+    )
+
+
+def sic_definition(pos: FactTable) -> SummaryViewDefinition:
+    return SummaryViewDefinition.create(
+        "SiC_sales",
+        pos,
+        group_by=["storeID", "category"],
+        aggregates=[
+            ("TotalCount", CountStar()),
+            ("EarliestSale", Min(col("date"))),
+            ("TotalQuantity", Sum(col("qty"))),
+        ],
+        dimensions=["items"],
+    )
+
+
+def minmax_definition(pos: FactTable) -> SummaryViewDefinition:
+    """A view exercising both MIN and MAX together."""
+    return SummaryViewDefinition.create(
+        "span_sales",
+        pos,
+        group_by=["region"],
+        aggregates=[
+            ("TotalCount", CountStar()),
+            ("FirstSale", Min(col("date"))),
+            ("LastSale", Max(col("date"))),
+            ("TotalQuantity", Sum(col("qty"))),
+        ],
+        dimensions=["stores"],
+    )
+
+
+def assert_view_matches_recomputation(view) -> None:
+    """The fundamental maintenance invariant."""
+    expected = compute_rows(view.definition).sorted_rows()
+    got = view.table.sorted_rows()
+    assert got == expected, (
+        f"view {view.name!r} diverged from recomputation:\n"
+        f"maintained: {got}\nrecomputed: {expected}"
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(42)

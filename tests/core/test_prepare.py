@@ -1,0 +1,103 @@
+"""Prepare-insertions / prepare-deletions / prepare-changes views."""
+
+import pytest
+
+from repro.core import MinMaxPolicy, prepare_changes, prepare_deletions, prepare_insertions
+from repro.core.deltas import del_column, ins_column
+from repro.warehouse import ChangeSet
+
+from ..conftest import sic_definition, sid_definition
+
+
+@pytest.fixture
+def changes(pos):
+    change_set = ChangeSet("pos", pos.table.schema)
+    change_set.insert((1, 10, 5, 7, 1.0))
+    change_set.delete((2, 12, 3, 5, 1.6))
+    return change_set
+
+
+class TestPrepareInsertions:
+    def test_projects_group_bys_and_sources(self, pos, changes):
+        definition = sid_definition(pos).resolved()
+        result = prepare_insertions(definition, changes.insertions)
+        # _‑prefixed sources, including the COUNT(qty) companion added by
+        # self-maintainability resolution.
+        assert result.schema.columns == (
+            "storeID", "itemID", "date",
+            "_TotalCount", "_TotalQuantity", "__cnt_TotalQuantity",
+        )
+        assert result.rows() == [(1, 10, 5, 1, 7, 1)]
+
+    def test_applies_dimension_join(self, pos, changes):
+        definition = sic_definition(pos).resolved()
+        result = prepare_insertions(definition, changes.insertions)
+        (row,) = result.rows()
+        assert row[:2] == (1, "fruit")
+
+    def test_min_source_carries_value(self, pos, changes):
+        definition = sic_definition(pos).resolved()
+        (row,) = prepare_insertions(definition, changes.insertions).rows()
+        position = prepare_insertions(
+            definition, changes.insertions
+        ).schema.position("_EarliestSale")
+        assert row[position] == 5
+
+
+class TestPrepareDeletions:
+    def test_negated_sources(self, pos, changes):
+        definition = sid_definition(pos).resolved()
+        result = prepare_deletions(definition, changes.deletions)
+        assert result.rows() == [(2, 12, 3, -1, -5, -1)]
+
+    def test_min_source_not_negated(self, pos, changes):
+        definition = sic_definition(pos).resolved()
+        result = prepare_deletions(definition, changes.deletions)
+        position = result.schema.position("_EarliestSale")
+        assert result.rows()[0][position] == 3
+
+
+class TestPrepareChanges:
+    def test_union_of_both_sides(self, pos, changes):
+        definition = sid_definition(pos).resolved()
+        result = prepare_changes(definition, changes)
+        assert len(result) == 2
+
+    def test_empty_change_set_gives_empty_pc(self, pos):
+        definition = sid_definition(pos).resolved()
+        empty = ChangeSet("pos", pos.table.schema)
+        result = prepare_changes(definition, empty)
+        assert len(result) == 0
+        assert "_TotalCount" in result.schema
+
+    def test_insertions_only(self, pos, changes):
+        definition = sid_definition(pos).resolved()
+        only_ins = ChangeSet("pos", pos.table.schema)
+        only_ins.insert((1, 10, 5, 7, 1.0))
+        assert len(prepare_changes(definition, only_ins)) == 1
+
+    def test_split_policy_adds_side_columns(self, pos, changes):
+        definition = sic_definition(pos).resolved()
+        result = prepare_changes(definition, changes, MinMaxPolicy.SPLIT)
+        ins_pos = result.schema.position(ins_column("EarliestSale"))
+        del_pos = result.schema.position(del_column("EarliestSale"))
+        rows = result.rows()
+        inserted = next(r for r in rows if r[result.schema.position("_TotalCount")] == 1)
+        deleted = next(r for r in rows if r[result.schema.position("_TotalCount")] == -1)
+        assert inserted[ins_pos] == 5 and inserted[del_pos] is None
+        assert deleted[ins_pos] is None and deleted[del_pos] == 3
+
+    def test_where_clause_filters_changes(self, pos):
+        from repro.aggregates import CountStar
+        from repro.relational import col, lit
+        from repro.views import SummaryViewDefinition
+
+        definition = SummaryViewDefinition.create(
+            "big", pos, ["storeID"], [("n", CountStar())],
+            where=col("qty").ge(lit(4)),
+        ).resolved()
+        change_set = ChangeSet("pos", pos.table.schema)
+        change_set.insert((1, 10, 5, 1, 1.0))   # filtered out (qty < 4)
+        change_set.insert((1, 10, 5, 9, 1.0))   # kept
+        result = prepare_changes(definition, change_set)
+        assert len(result) == 1

@@ -1,0 +1,126 @@
+"""Summary-delta computation (the propagate function)."""
+
+import pytest
+
+from repro.core import (
+    MinMaxPolicy,
+    PropagateOptions,
+    classify_dimensions,
+    compute_summary_delta,
+)
+from repro.warehouse import ChangeSet
+
+from ..conftest import sic_definition, sid_definition
+
+
+@pytest.fixture
+def changes(pos):
+    change_set = ChangeSet("pos", pos.table.schema)
+    change_set.insert((1, 10, 1, 7, 1.0))   # existing group (1,10,1)
+    change_set.insert((1, 10, 1, 1, 1.0))
+    change_set.delete((1, 10, 1, 2, 1.0))   # same group
+    change_set.insert((4, 13, 9, 2, 1.3))   # brand-new group
+    return change_set
+
+
+class TestDirectPropagate:
+    def test_net_counts_and_sums(self, pos, changes):
+        definition = sid_definition(pos).resolved()
+        delta = compute_summary_delta(definition, changes)
+        rows = {row[:3]: row[3:] for row in delta.table.scan()}
+        # Group (1,10,1): +2 rows −1 row = +1 count; qty +7+1−2 = +6;
+        # COUNT(qty) companion +1.  New group (4,13,9): one insertion.
+        assert rows[(1, 10, 1)] == (1, 6, 1)
+        assert rows[(4, 13, 9)] == (1, 2, 1)
+
+    def test_one_delta_row_per_group(self, pos, changes):
+        definition = sid_definition(pos).resolved()
+        delta = compute_summary_delta(definition, changes)
+        assert len(delta) == 2
+
+    def test_changes_not_consumed(self, pos, changes):
+        definition = sid_definition(pos).resolved()
+        compute_summary_delta(definition, changes)
+        assert changes.size() == 4
+
+    def test_base_table_untouched(self, pos, changes):
+        before = len(pos.table)
+        compute_summary_delta(sid_definition(pos).resolved(), changes)
+        assert len(pos.table) == before
+
+    def test_min_delta_spans_insertions_and_deletions(self, pos):
+        # Paper policy: the delta MIN covers inserted AND deleted values.
+        definition = sic_definition(pos).resolved()
+        change_set = ChangeSet("pos", pos.table.schema)
+        change_set.delete((1, 10, 1, 2, 1.0))    # date 1 deleted
+        change_set.insert((1, 13, 6, 1, 1.0))    # date 6 inserted, same group
+        delta = compute_summary_delta(definition, change_set)
+        rows = {row[:2]: row for row in delta.table.scan()}
+        position = delta.table.schema.position("EarliestSale")
+        assert rows[(1, "fruit")][position] == 1
+
+    def test_empty_changes_empty_delta(self, pos):
+        definition = sid_definition(pos).resolved()
+        delta = compute_summary_delta(
+            definition, ChangeSet("pos", pos.table.schema)
+        )
+        assert len(delta) == 0
+
+
+class TestSplitPolicy:
+    def test_split_columns_separate_sides(self, pos):
+        definition = sic_definition(pos).resolved()
+        change_set = ChangeSet("pos", pos.table.schema)
+        change_set.delete((1, 10, 1, 2, 1.0))
+        change_set.insert((1, 13, 6, 1, 1.0))
+        delta = compute_summary_delta(
+            definition, change_set,
+            PropagateOptions(policy=MinMaxPolicy.SPLIT),
+        )
+        schema = delta.table.schema
+        rows = {row[:2]: row for row in delta.table.scan()}
+        row = rows[(1, "fruit")]
+        assert row[schema.position("__ins_EarliestSale")] == 6
+        assert row[schema.position("__del_EarliestSale")] == 1
+
+
+class TestPreAggregation:
+    def test_classification_splits_early_and_delayed(self, pos):
+        definition = sic_definition(pos).resolved()
+        early, delayed = classify_dimensions(definition)
+        # SiC_sales aggregates only fact columns; 'items' supplies only the
+        # group-by attribute 'category', so its join can be delayed.
+        assert early == [] and delayed == ["items"]
+
+    def test_dimension_referenced_by_aggregate_is_early(self, pos):
+        from repro.aggregates import CountStar, Sum
+        from repro.relational import col
+        from repro.views import SummaryViewDefinition
+
+        definition = SummaryViewDefinition.create(
+            "margin", pos, ["category"],
+            [("n", CountStar()), ("cost_total", Sum(col("cost")))],
+            dimensions=["items"],
+        ).resolved()
+        early, delayed = classify_dimensions(definition)
+        assert early == ["items"] and delayed == []
+
+    @pytest.mark.parametrize("policy", [MinMaxPolicy.PAPER, MinMaxPolicy.SPLIT])
+    def test_preaggregated_delta_equals_direct(self, pos, changes, policy):
+        definition = sic_definition(pos).resolved()
+        direct = compute_summary_delta(
+            definition, changes, PropagateOptions(policy=policy)
+        )
+        pre = compute_summary_delta(
+            definition, changes,
+            PropagateOptions(policy=policy, pre_aggregate=True),
+        )
+        assert direct.table.sorted_rows() == pre.table.sorted_rows()
+
+    def test_preaggregation_without_delayable_joins_falls_back(self, pos, changes):
+        definition = sid_definition(pos).resolved()
+        pre = compute_summary_delta(
+            definition, changes, PropagateOptions(pre_aggregate=True)
+        )
+        direct = compute_summary_delta(definition, changes)
+        assert pre.table.sorted_rows() == direct.table.sorted_rows()

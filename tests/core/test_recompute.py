@@ -1,0 +1,113 @@
+"""Index-assisted MIN/MAX recomputation plans."""
+
+import pytest
+
+from repro.core import base_recompute_fn
+from repro.core.recompute import (
+    plan_index_recompute,
+    recompute_groups_via_index,
+)
+
+from ..conftest import minmax_definition, sic_definition, sid_definition
+
+
+@pytest.fixture
+def indexed_pos(pos):
+    pos.table.track_domain("date")
+    return pos
+
+
+class TestPlanning:
+    def test_sid_plan_is_all_fixed(self, indexed_pos):
+        # Group-by (storeID, itemID, date) == the composite index exactly.
+        plan = plan_index_recompute(sid_definition(indexed_pos).resolved())
+        assert plan is not None
+        assert [provider.kind for provider in plan.providers] == [
+            "fixed", "fixed", "fixed",
+        ]
+        assert plan.estimated_probes_per_group == 1.0
+
+    def test_sic_plan_uses_dimension_and_domain(self, indexed_pos):
+        plan = plan_index_recompute(sic_definition(indexed_pos).resolved())
+        assert plan is not None
+        kinds = [provider.kind for provider in plan.providers]
+        assert kinds == ["fixed", "dim_attrs", "domain"]
+
+    def test_infeasible_without_domain_tracking(self, pos):
+        # Without date-domain tracking, the third index column has no
+        # provider for SiC (date is neither grouped nor a foreign key).
+        plan = plan_index_recompute(sic_definition(pos).resolved())
+        assert plan is None
+
+    def test_unindexed_fact_has_no_plan(self, stores, items):
+        from ..conftest import make_pos
+
+        pos = make_pos(stores, items)
+        for index_key in list(pos.table.indexes):
+            pass  # make_pos creates the composite index; drop via fresh fact
+        from repro.warehouse import FactTable, ForeignKey
+
+        bare = FactTable(
+            "pos", ["storeID", "itemID", "date", "qty", "price"],
+            [ForeignKey("storeID", stores), ForeignKey("itemID", items)],
+            pos.table.rows(),
+        )
+        assert plan_index_recompute(sic_definition(bare).resolved()) is None
+
+
+class TestCandidateKeys:
+    def test_sic_candidates_cover_the_group(self, indexed_pos):
+        definition = sic_definition(indexed_pos).resolved()
+        plan = plan_index_recompute(definition)
+        candidates = set(plan.candidate_keys((1, "fruit")))
+        # Every pos row of store 1 with a fruit item must be covered.
+        for row in indexed_pos.table.scan():
+            if row[0] == 1 and row[1] in (10, 13):   # apple, pear
+                assert (row[0], row[1], row[2]) in candidates
+
+    def test_gather_rows_fetches_exactly_group_rows(self, indexed_pos):
+        definition = sic_definition(indexed_pos).resolved()
+        plan = plan_index_recompute(definition)
+        rows = plan.gather_rows((3, "fruit")).rows()
+        expected = [
+            row for row in indexed_pos.table.scan()
+            if row[0] == 3 and row[1] in (10, 13)
+        ]
+        assert sorted(rows) == sorted(expected)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "definition_factory", [sid_definition, sic_definition, minmax_definition]
+    )
+    def test_index_and_scan_agree(self, indexed_pos, definition_factory):
+        definition = definition_factory(indexed_pos).resolved()
+        arity = len(definition.group_by)
+        all_keys = list({
+            row[:arity]
+            for row in __import__("repro.views", fromlist=["compute_rows"])
+            .compute_rows(definition).scan()
+        })
+        via_scan = base_recompute_fn(definition, use_index=False)(all_keys)
+        plan = plan_index_recompute(definition)
+        if plan is None:
+            pytest.skip("no feasible index plan for this view")
+        via_index = recompute_groups_via_index(plan, all_keys)
+        assert via_index == via_scan
+
+    def test_default_recompute_fn_prefers_index(self, indexed_pos):
+        # Functional check through the full refresh path.
+        from repro.core import compute_summary_delta, refresh
+        from repro.views import MaterializedView, compute_rows
+        from repro.warehouse import ChangeSet
+
+        view = MaterializedView.build(sic_definition(indexed_pos))
+        changes = ChangeSet("pos", indexed_pos.table.schema)
+        changes.delete((3, 10, 1, 6, 1.0))  # deletes a group minimum
+        delta = compute_summary_delta(view.definition, changes)
+        changes.apply_to(indexed_pos.table)
+        stats = refresh(
+            view, delta, recompute=base_recompute_fn(view.definition)
+        )
+        assert stats.recomputed == 1
+        assert view.table.sorted_rows() == compute_rows(view.definition).sorted_rows()

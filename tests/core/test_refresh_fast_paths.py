@@ -1,0 +1,105 @@
+"""Refresh optimisations: the assume-all-new fast path and chunked deltas."""
+
+import pytest
+
+from repro.core import compute_summary_delta, refresh
+from repro.errors import InconsistentDeltaError, MaintenanceError
+from repro.views import MaterializedView, compute_rows
+from repro.warehouse import ChangeSet, Warehouse
+
+from ..conftest import assert_view_matches_recomputation, sid_definition
+
+
+class TestAssumeAllNew:
+    def test_new_date_insertions(self, pos):
+        view = MaterializedView.build(sid_definition(pos))
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.insert((1, 10, 99, 3, 1.0))   # date 99 is brand new
+        changes.insert((2, 11, 99, 1, 2.0))
+        delta = compute_summary_delta(view.definition, changes)
+        changes.apply_to(pos.table)
+        stats = refresh(view, delta, assume_all_new=True)
+        assert stats.inserted == 2 and stats.updated == 0
+        assert_view_matches_recomputation(view)
+
+    def test_equivalent_to_normal_refresh(self, pos, stores, items):
+        from ..conftest import make_pos
+
+        changes_rows = [(1, 10, 77, 3, 1.0), (3, 13, 88, 5, 1.3)]
+
+        fast_pos = make_pos(stores, items)
+        fast_view = MaterializedView.build(sid_definition(fast_pos))
+        changes = ChangeSet("pos", fast_pos.table.schema)
+        changes.insert_many(changes_rows)
+        delta = compute_summary_delta(fast_view.definition, changes)
+        changes.apply_to(fast_pos.table)
+        refresh(fast_view, delta, assume_all_new=True)
+
+        slow_pos = make_pos(stores, items)
+        slow_view = MaterializedView.build(sid_definition(slow_pos))
+        changes = ChangeSet("pos", slow_pos.table.schema)
+        changes.insert_many(changes_rows)
+        delta = compute_summary_delta(slow_view.definition, changes)
+        changes.apply_to(slow_pos.table)
+        refresh(slow_view, delta)
+
+        assert fast_view.table.sorted_rows() == slow_view.table.sorted_rows()
+
+    def test_deletions_rejected(self, pos):
+        view = MaterializedView.build(sid_definition(pos))
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.delete((2, 12, 3, 5, 1.6))
+        delta = compute_summary_delta(view.definition, changes)
+        with pytest.raises(InconsistentDeltaError):
+            refresh(view, delta, assume_all_new=True)
+
+    def test_misuse_detectable_by_verification(self, pos, warehouse):
+        # Violating the assumption (an existing group) corrupts the view —
+        # silently at refresh time, loudly under verify_views.
+        view = warehouse.define_summary_table(sid_definition(pos))
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.insert((1, 10, 1, 7, 1.0))  # group (1,10,1) already exists!
+        delta = compute_summary_delta(view.definition, changes)
+        changes.apply_to(pos.table)
+        refresh(view, delta, assume_all_new=True)
+        assert warehouse.verify_views() == {"SID_sales": False}
+
+
+class TestChunkedGroupBy:
+    @pytest.mark.parametrize("chunks", [1, 2, 3, 7, 100])
+    def test_matches_plain_group_by(self, pos, chunks):
+        from repro.relational import (
+            CountRowsReducer,
+            MinReducer,
+            SumReducer,
+            col,
+            group_by,
+            group_by_chunked,
+        )
+
+        specs = [
+            ("n", col("qty"), CountRowsReducer()),
+            ("total", col("qty"), SumReducer()),
+            ("first", col("date"), MinReducer()),
+        ]
+        plain = group_by(pos.table, ["storeID"], specs)
+        chunked = group_by_chunked(pos.table, ["storeID"], specs, chunks=chunks)
+        assert chunked.sorted_rows() == plain.sorted_rows()
+
+    def test_empty_input(self):
+        from repro.relational import SumReducer, Table, col, group_by_chunked
+
+        table = Table("t", ["k", "v"])
+        result = group_by_chunked(
+            table, ["k"], [("s", col("v"), SumReducer())], chunks=4
+        )
+        assert len(result) == 0
+
+    def test_invalid_chunks_rejected(self, pos):
+        from repro.relational import SumReducer, col, group_by_chunked
+
+        with pytest.raises(ValueError):
+            group_by_chunked(
+                pos.table, ["storeID"],
+                [("s", col("qty"), SumReducer())], chunks=0,
+            )

@@ -1,0 +1,140 @@
+"""Atomic refresh: failure injection at every mutation step."""
+
+import pytest
+
+from repro.core import (
+    base_recompute_fn,
+    compute_summary_delta,
+    refresh_atomically,
+)
+from repro.views import MaterializedView
+from repro.warehouse import ChangeSet
+
+from ..conftest import (
+    assert_view_matches_recomputation,
+    sic_definition,
+    sid_definition,
+)
+
+
+class InjectedFailure(RuntimeError):
+    pass
+
+
+def prepared(pos, definition_factory, inserts, deletes):
+    """View + delta + recompute callback, with base changes applied."""
+    view = MaterializedView.build(definition_factory(pos))
+    changes = ChangeSet("pos", pos.table.schema)
+    changes.insert_many(inserts)
+    changes.delete_many(deletes)
+    delta = compute_summary_delta(view.definition, changes)
+    changes.apply_to(pos.table)
+    return view, delta, base_recompute_fn(view.definition)
+
+
+MIXED_INSERTS = [(1, 10, 1, 7, 1.0), (4, 13, 9, 2, 1.3)]
+MIXED_DELETES = [(2, 12, 3, 5, 1.6), (3, 10, 1, 6, 1.0)]
+
+
+class TestSuccessPath:
+    def test_equivalent_to_plain_refresh(self, pos):
+        view, delta, recompute = prepared(
+            pos, sic_definition, MIXED_INSERTS, MIXED_DELETES
+        )
+        stats = refresh_atomically(view, delta, recompute)
+        assert stats.touched > 0
+        assert_view_matches_recomputation(view)
+
+    def test_stats_reported(self, pos):
+        view, delta, recompute = prepared(
+            pos, sid_definition, MIXED_INSERTS, MIXED_DELETES
+        )
+        stats = refresh_atomically(view, delta, recompute)
+        assert (stats.inserted, stats.updated, stats.deleted) == (1, 1, 2)
+
+
+class TestFailureInjection:
+    def count_steps(self, pos, definition_factory):
+        """How many mutation steps the workload produces."""
+        fresh_pos = self._fresh_pos()
+        view, delta, recompute = prepared(
+            fresh_pos, definition_factory, MIXED_INSERTS, MIXED_DELETES
+        )
+        stats = refresh_atomically(view, delta, recompute)
+        return stats.touched
+
+    @staticmethod
+    def _fresh_pos():
+        from ..conftest import make_items, make_pos, make_stores
+
+        return make_pos(make_stores(), make_items())
+
+    @pytest.mark.parametrize("definition_factory", [sid_definition, sic_definition])
+    def test_failure_at_every_step_leaves_view_untouched(self, definition_factory):
+        total_steps = self.count_steps(None, definition_factory)
+        assert total_steps > 0
+        for failing_step in range(total_steps):
+            pos = self._fresh_pos()
+            view, delta, recompute = prepared(
+                pos, definition_factory, MIXED_INSERTS, MIXED_DELETES
+            )
+            before = view.table.sorted_rows()
+
+            def hook(step, failing=failing_step):
+                if step == failing:
+                    raise InjectedFailure(f"at step {failing}")
+
+            with pytest.raises(InjectedFailure):
+                refresh_atomically(view, delta, recompute, failure_hook=hook)
+            assert view.table.sorted_rows() == before, (
+                f"rollback incomplete after failure at step {failing_step}"
+            )
+
+    @pytest.mark.parametrize("definition_factory", [sid_definition, sic_definition])
+    def test_retry_after_rollback_succeeds(self, definition_factory):
+        pos = self._fresh_pos()
+        view, delta, recompute = prepared(
+            pos, definition_factory, MIXED_INSERTS, MIXED_DELETES
+        )
+
+        first_call = True
+
+        def hook(step):
+            nonlocal first_call
+            if first_call and step == 1:
+                first_call = False
+                raise InjectedFailure
+
+        with pytest.raises(InjectedFailure):
+            refresh_atomically(view, delta, recompute, failure_hook=hook)
+        refresh_atomically(view, delta, recompute, failure_hook=hook)
+        assert_view_matches_recomputation(view)
+
+    def test_index_consistent_after_rollback(self, pos):
+        view, delta, recompute = prepared(
+            pos, sid_definition, MIXED_INSERTS, MIXED_DELETES
+        )
+
+        def hook(step):
+            if step == 3:
+                raise InjectedFailure
+
+        with pytest.raises(InjectedFailure):
+            refresh_atomically(view, delta, recompute, failure_hook=hook)
+        index = view.group_key_index()
+        for slot_list in (index.lookup(key) for key in list(index.keys())):
+            for slot in slot_list:
+                view.table.row_at(slot)  # every indexed slot is live
+
+    def test_recompute_failure_rolls_back(self, pos):
+        view, delta, _ = prepared(
+            pos, sic_definition, [], [(3, 10, 1, 6, 1.0)]
+        )
+        before = view.table.sorted_rows()
+
+        def broken_recompute(keys):
+            raise InjectedFailure("base data unavailable")
+
+        with pytest.raises(InjectedFailure):
+            refresh_atomically(view, delta, broken_recompute)
+        assert view.table.sorted_rows() == before

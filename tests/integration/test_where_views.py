@@ -1,0 +1,108 @@
+"""Views with selection predicates (WHERE) through the full pipeline.
+
+The paper's lattice treatment assumes a common WHERE clause across related
+views (footnote 1); within that constraint the whole machinery — propagate,
+refresh, lattice derivation, SQL backend — must handle predicates.
+"""
+
+import pytest
+
+from repro.aggregates import CountStar, Sum
+from repro.core import compute_summary_delta, maintain_view
+from repro.lattice import maintain_lattice, try_derive
+from repro.relational import col, lit
+from repro.views import MaterializedView, SummaryViewDefinition
+
+from ..conftest import assert_view_matches_recomputation
+
+BULK_THRESHOLD = 4
+
+
+def bulk_filter():
+    return col("qty").ge(lit(BULK_THRESHOLD))
+
+
+def bulk_views(pos):
+    """Two 'bulk sales only' views sharing a WHERE, lattice-related."""
+    fine = SummaryViewDefinition.create(
+        "bulk_by_store_item", pos, ["storeID", "itemID"],
+        [("n", CountStar()), ("units", Sum(col("qty")))],
+        where=bulk_filter(),
+    )
+    coarse = SummaryViewDefinition.create(
+        "bulk_by_region", pos, ["region"],
+        [("n", CountStar()), ("units", Sum(col("qty")))],
+        dimensions=["stores"],
+        where=bulk_filter(),
+    )
+    return fine, coarse
+
+
+class TestFilteredViews:
+    def test_single_view_maintenance(self, pos, warehouse):
+        fine, _ = bulk_views(pos)
+        view = warehouse.define_summary_table(fine)
+        changes = warehouse.pending_changes("pos")
+        changes.insert((1, 10, 5, 9, 1.0))   # passes the filter
+        changes.insert((1, 10, 5, 1, 1.0))   # filtered out
+        changes.delete((3, 10, 1, 6, 1.0))   # passes; empties its group
+        maintain_view(view, changes)
+        assert_view_matches_recomputation(view)
+
+    def test_filtered_out_changes_produce_empty_delta(self, pos):
+        fine, _ = bulk_views(pos)
+        view = MaterializedView.build(fine)
+        from repro.warehouse import ChangeSet
+
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.insert((1, 10, 5, 1, 1.0))   # below the threshold
+        delta = compute_summary_delta(view.definition, changes)
+        assert len(delta) == 0
+
+    def test_shared_where_forms_a_lattice(self, pos):
+        fine, coarse = bulk_views(pos)
+        edge = try_derive(coarse.resolved(), fine.resolved())
+        assert edge is not None
+        assert edge.dimension_joins == ("stores",)
+
+    def test_lattice_maintenance_with_where(self, pos):
+        fine, coarse = bulk_views(pos)
+        views = [MaterializedView.build(fine), MaterializedView.build(coarse)]
+        from repro.warehouse import ChangeSet
+
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.insert((2, 11, 7, 8, 2.0))
+        changes.insert((4, 12, 2, 2, 1.5))   # filtered out
+        changes.delete((2, 11, 2, 4, 2.1))   # passes the filter
+        maintain_lattice(views, changes)
+        for view in views:
+            assert_view_matches_recomputation(view)
+
+    def test_sqlite_backend_honours_where(self, pos):
+        from repro.sqlite_backend import SqliteWarehouse
+        from repro.warehouse import ChangeSet
+
+        fine, coarse = bulk_views(pos)
+        sqlite_wh = SqliteWarehouse()
+        sqlite_wh.load_fact(pos)
+        sqlite_wh.define_summary_table(fine)
+        sqlite_wh.define_summary_table(coarse)
+
+        engine_views = [MaterializedView.build(fine), MaterializedView.build(coarse)]
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.insert((2, 11, 7, 8, 2.0))
+        changes.delete((2, 11, 2, 4, 2.1))
+        sqlite_wh.maintain(changes)
+        maintain_lattice(engine_views, changes)
+        for view in engine_views:
+            sqlite_rows = [tuple(r) for r in sqlite_wh.sorted_rows(view.name)]
+            assert sqlite_rows == view.table.sorted_rows(), view.name
+
+    def test_different_where_views_do_not_relate(self, pos):
+        fine, _ = bulk_views(pos)
+        unfiltered = SummaryViewDefinition.create(
+            "all_by_region", pos, ["region"],
+            [("n", CountStar()), ("units", Sum(col("qty")))],
+            dimensions=["stores"],
+        )
+        assert try_derive(unfiltered.resolved(), fine.resolved()) is None

@@ -1,0 +1,97 @@
+"""Auxiliary (non-materialised) delta nodes in the maintenance lattice —
+the partially-materialised-lattice idea of §3.4 applied to propagation."""
+
+import pytest
+
+from repro.aggregates import CountStar, Sum
+from repro.errors import MaintenanceError
+from repro.lattice import maintain_lattice
+from repro.relational import col
+from repro.views import MaterializedView, SummaryViewDefinition
+
+from ..conftest import assert_view_matches_recomputation
+from repro.workload import (
+    RetailConfig,
+    generate_retail,
+    sid_sales,
+    update_generating_changes,
+)
+
+
+def coarse_views(pos):
+    """Two coarse views that could share a (city, region, date) parent."""
+    by_city = SummaryViewDefinition.create(
+        "by_city", pos, ["city"],
+        [("n", CountStar()), ("total", Sum(col("qty")))],
+        dimensions=["stores"],
+    )
+    by_region_date = SummaryViewDefinition.create(
+        "by_region_date", pos, ["region", "date"],
+        [("n", CountStar()), ("total", Sum(col("qty")))],
+        dimensions=["stores"],
+    )
+    return by_city, by_region_date
+
+
+def shared_parent(pos):
+    """The non-materialised intermediate both coarse views derive from."""
+    return SummaryViewDefinition.create(
+        "aux_city_region_date", pos, ["city", "region", "date"],
+        [("n", CountStar()), ("total", Sum(col("qty")))],
+        dimensions=["stores"],
+    )
+
+
+@pytest.fixture
+def setup():
+    data = generate_retail(RetailConfig(pos_rows=2000, seed=61))
+    by_city, by_region_date = coarse_views(data.pos)
+    views = [
+        MaterializedView.build(by_city),
+        MaterializedView.build(by_region_date),
+    ]
+    changes = update_generating_changes(data.pos, data.config, 200, data.rng)
+    return data, views, changes
+
+
+class TestAuxiliaryNodes:
+    def test_maintenance_correct_with_auxiliary(self, setup):
+        data, views, changes = setup
+        result = maintain_lattice(
+            views, changes, auxiliary=[shared_parent(data.pos)]
+        )
+        for view in views:
+            assert_view_matches_recomputation(view)
+        # Auxiliary deltas never appear in the result.
+        assert set(result.deltas) == {"by_city", "by_region_date"}
+        assert set(result.stats) == {"by_city", "by_region_date"}
+
+    def test_auxiliary_becomes_the_shared_parent(self, setup):
+        data, views, changes = setup
+        definitions = [view.definition for view in views]
+        definitions.append(shared_parent(data.pos).resolved())
+        from repro.lattice import ViewLattice
+
+        lattice = ViewLattice.build(definitions)
+        assert lattice.node("by_city").parent == "aux_city_region_date"
+        assert lattice.node("by_region_date").parent == "aux_city_region_date"
+
+    def test_auxiliary_name_clash_rejected(self, setup):
+        data, views, changes = setup
+        clash = SummaryViewDefinition.create(
+            "by_city", data.pos, ["city"],
+            [("n", CountStar())], dimensions=["stores"],
+        )
+        with pytest.raises(MaintenanceError, match="clashes"):
+            maintain_lattice(views, changes, auxiliary=[clash])
+
+    def test_auxiliary_with_finer_root(self, setup):
+        # A fine auxiliary root (SID-level) can feed everything.
+        data, views, changes = setup
+        result = maintain_lattice(
+            views, changes,
+            auxiliary=[sid_sales(data.pos), shared_parent(data.pos)],
+        )
+        for view in views:
+            assert_view_matches_recomputation(view)
+        assert set(result.deltas) == {"by_city", "by_region_date"}

@@ -1,0 +1,193 @@
+"""The derives relation (≼) and edge-query rewrites (Section 5.1)."""
+
+import pytest
+
+from repro.aggregates import Count, CountStar, Max, Min, Sum
+from repro.errors import DerivationError
+from repro.lattice import derive, try_derive
+from repro.relational import col, lit
+from repro.views import SummaryViewDefinition, compute_rows
+
+from ..conftest import make_items, make_pos, make_stores, sic_definition, sid_definition
+
+
+def resolved(definition):
+    return definition.resolved()
+
+
+@pytest.fixture
+def sid(pos):
+    return resolved(sid_definition(pos))
+
+
+@pytest.fixture
+def sic(pos):
+    return resolved(sic_definition(pos))
+
+
+class TestRelation:
+    def test_example_5_1_sic_from_sid(self, sid, sic):
+        edge = try_derive(sic, sid)
+        assert edge is not None
+        assert edge.dimension_joins == ("items",)
+
+    def test_sid_not_derivable_from_sic(self, sid, sic):
+        assert try_derive(sid, sic) is None
+
+    def test_region_view_from_sid_via_stores(self, pos, sid):
+        sr = resolved(
+            SummaryViewDefinition.create(
+                "sR_sales", pos, ["region"],
+                [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))],
+                dimensions=["stores"],
+            )
+        )
+        edge = try_derive(sr, sid)
+        assert edge is not None and edge.dimension_joins == ("stores",)
+
+    def test_region_not_derivable_from_city_only_view(self, pos, sid):
+        # city → region holds, but city is not the stores key, so no
+        # foreign-key join can recover region (paper's condition 1).
+        scd_no_region = resolved(
+            SummaryViewDefinition.create(
+                "sCD_narrow", pos, ["city", "date"],
+                [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))],
+                dimensions=["stores"],
+            )
+        )
+        sr = resolved(
+            SummaryViewDefinition.create(
+                "sR_sales", pos, ["region"],
+                [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))],
+                dimensions=["stores"],
+            )
+        )
+        assert try_derive(sr, scd_no_region) is None
+
+    def test_region_derivable_from_widened_city_view(self, pos):
+        scd = resolved(
+            SummaryViewDefinition.create(
+                "sCD_sales", pos, ["city", "region", "date"],
+                [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))],
+                dimensions=["stores"],
+            )
+        )
+        sr = resolved(
+            SummaryViewDefinition.create(
+                "sR_sales", pos, ["region"],
+                [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))],
+                dimensions=["stores"],
+            )
+        )
+        edge = try_derive(sr, scd)
+        assert edge is not None and edge.dimension_joins == ()
+
+    def test_missing_aggregate_blocks_derivation(self, pos, sid):
+        # MAX(price) is neither in SID_sales nor over its group-bys.
+        needs_price = resolved(
+            SummaryViewDefinition.create(
+                "p", pos, ["storeID"],
+                [("n", CountStar()), ("top_price", Max(col("price")))],
+            )
+        )
+        assert try_derive(needs_price, sid) is None
+
+    def test_aggregate_over_group_by_attribute_allowed(self, pos, sid):
+        # MIN(date) is derivable from SID_sales because date is a group-by.
+        earliest = resolved(
+            SummaryViewDefinition.create(
+                "e", pos, ["storeID"],
+                [("n", CountStar()), ("first", Min(col("date")))],
+            )
+        )
+        assert try_derive(earliest, sid) is not None
+
+    def test_different_fact_tables_not_derivable(self, pos, stores, items):
+        other_pos = make_pos(make_stores(), make_items())
+        v1 = resolved(sid_definition(pos))
+        v2 = resolved(sid_definition(other_pos))
+        with pytest.raises(DerivationError, match="different fact"):
+            derive(v2, v1)
+
+    def test_different_where_clauses_not_derivable(self, pos, sid):
+        filtered = resolved(
+            SummaryViewDefinition.create(
+                "f", pos, ["storeID"], [("n", CountStar())],
+                where=col("qty").gt(lit(1)),
+            )
+        )
+        with pytest.raises(DerivationError, match="WHERE"):
+            derive(filtered, sid)
+
+    def test_unresolved_definitions_rejected(self, pos):
+        with pytest.raises(DerivationError, match="resolved"):
+            derive(sid_definition(pos), sid_definition(pos).resolved())
+
+
+class TestEdgeQuerySemantics:
+    """EdgeQuery.apply must equal direct computation from base data."""
+
+    def assert_edge_correct(self, child, parent):
+        edge = derive(child, parent)
+        from_parent = edge.apply(compute_rows(parent)).sorted_rows()
+        from_base = compute_rows(child).sorted_rows()
+        assert from_parent == from_base, edge.describe()
+
+    def test_sic_from_sid(self, sid, sic):
+        self.assert_edge_correct(sic, sid)
+
+    def test_region_rollup(self, pos, sid):
+        sr = resolved(
+            SummaryViewDefinition.create(
+                "sR_sales", pos, ["region"],
+                [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))],
+                dimensions=["stores"],
+            )
+        )
+        self.assert_edge_correct(sr, sid)
+
+    def test_count_expr_rollup(self, pos, sid):
+        counting = resolved(
+            SummaryViewDefinition.create(
+                "c", pos, ["storeID"],
+                [("n", CountStar()), ("n_dates", Count(col("date")))],
+            )
+        )
+        self.assert_edge_correct(counting, sid)
+
+    def test_sum_over_group_by_attribute(self, pos, sid):
+        # SUM(date) over a parent group-by: the SUM(A·COUNT(*)) rewrite.
+        summing = resolved(
+            SummaryViewDefinition.create(
+                "s", pos, ["storeID"],
+                [("n", CountStar()), ("date_sum", Sum(col("date")))],
+            )
+        )
+        self.assert_edge_correct(summing, sid)
+
+    def test_minmax_rollup_through_matching_aggregate(self, pos, sic):
+        # MIN(date) appears in SiC_sales; roll it up to per-category.
+        per_category = resolved(
+            SummaryViewDefinition.create(
+                "cat", pos, ["category"],
+                [
+                    ("TotalCount", CountStar()),
+                    ("EarliestSale", Min(col("date"))),
+                    ("TotalQuantity", Sum(col("qty"))),
+                ],
+                dimensions=["items"],
+            )
+        )
+        self.assert_edge_correct(per_category, sic)
+
+    def test_global_rollup_empty_group_by(self, pos, sid):
+        total = resolved(
+            SummaryViewDefinition.create(
+                "all_sales", pos, [],
+                [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))],
+            )
+        )
+        self.assert_edge_correct(total, sid)
+
+    def test_describe_mentions_join(self, sid, sic):
+        assert derive(sic, sid).describe() == "SiC_sales <= SID_sales [items]"

@@ -1,0 +1,107 @@
+"""Theorem 5.1: the D-lattice is the V-lattice with tables renamed."""
+
+import pytest
+
+from repro.core import MinMaxPolicy, PropagateOptions, compute_summary_delta
+from repro.lattice import (
+    build_lattice_for_views,
+    check_theorem_5_1,
+    delta_name,
+    propagate_lattice,
+    summary_delta_lattice,
+)
+from repro.views import MaterializedView
+from repro.workload import (
+    RetailConfig,
+    generate_retail,
+    retail_view_definitions,
+    update_generating_changes,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = generate_retail(RetailConfig(pos_rows=2000, seed=21))
+    views = [
+        MaterializedView.build(definition)
+        for definition in retail_view_definitions(data.pos)
+    ]
+    lattice = build_lattice_for_views(views)
+    changes = update_generating_changes(data.pos, data.config, 200, data.rng)
+    return data, views, lattice, changes
+
+
+class TestStructure:
+    def test_node_renaming(self, setup):
+        _data, _views, lattice, _changes = setup
+        renamed = summary_delta_lattice(lattice)
+        assert set(renamed.nodes) == {
+            "sd_SID_sales", "sd_sCD_sales", "sd_SiC_sales", "sd_sR_sales",
+        }
+
+    def test_edges_preserved(self, setup):
+        _data, _views, lattice, _changes = setup
+        renamed = summary_delta_lattice(lattice)
+        assert renamed.has_edge("sd_SID_sales", "sd_SiC_sales")
+        assert renamed.has_edge("sd_sCD_sales", "sd_sR_sales")
+
+    def test_delta_name(self):
+        assert delta_name("v") == "sd_v"
+
+    @pytest.mark.parametrize("policy", list(MinMaxPolicy))
+    def test_check_theorem(self, setup, policy):
+        _data, _views, lattice, _changes = setup
+        assert check_theorem_5_1(lattice, policy)
+
+
+class TestSemantics:
+    """The executable content of Theorem 5.1: deltas computed through the
+    lattice equal deltas computed directly from the change set."""
+
+    def test_lattice_deltas_equal_direct_deltas(self, setup):
+        _data, views, lattice, changes = setup
+        options = PropagateOptions(policy=MinMaxPolicy.PAPER)
+        via_lattice = propagate_lattice(lattice, changes, options)
+        for view in views:
+            direct = compute_summary_delta(view.definition, changes, options)
+            assert (
+                via_lattice[view.name].table.sorted_rows()
+                == direct.table.sorted_rows()
+            ), view.name
+
+    def test_split_policy_view_columns_identical_threats_sound(self, setup):
+        """Under the SPLIT extension the view-schema delta columns are still
+        identical, while the bookkeeping columns may differ: the lattice
+        derivation nets out insert/delete pairs inside a parent group, so it
+        records *fewer* (never more) deletion threats than the direct path —
+        more precise, equally sound."""
+        _data, views, lattice, changes = setup
+        options = PropagateOptions(policy=MinMaxPolicy.SPLIT)
+        via_lattice = propagate_lattice(lattice, changes, options)
+        for view in views:
+            direct = compute_summary_delta(view.definition, changes, options)
+            width = len(view.definition.storage_schema())
+            lattice_rows = {
+                row[:width]: row[width:]
+                for row in via_lattice[view.name].table.scan()
+            }
+            direct_rows = {
+                row[:width]: row[width:] for row in direct.table.scan()
+            }
+            assert set(lattice_rows) == set(direct_rows), view.name
+            for key, direct_extra in direct_rows.items():
+                lattice_extra = lattice_rows[key]
+                # Any threat the lattice path reports, the direct path
+                # reports too (lattice ⊆ direct in threat terms).
+                for lat, dire in zip(lattice_extra, direct_extra):
+                    if lat is not None:
+                        assert dire is not None, (view.name, key)
+
+    def test_delta_schema_matches_view_schema(self, setup):
+        _data, views, lattice, changes = setup
+        deltas = propagate_lattice(lattice, changes)
+        for view in views:
+            assert (
+                deltas[view.name].table.schema
+                == view.definition.storage_schema()
+            )

@@ -1,0 +1,103 @@
+"""Lattice-friendly rewriting (Section 5.2) and its consequences."""
+
+from repro.aggregates import CountStar, Min, Sum
+from repro.lattice import (
+    ViewLattice,
+    align_aggregates,
+    make_lattice_friendly,
+    try_derive,
+    widen_with_determined_attributes,
+)
+from repro.relational import col
+from repro.views import SummaryViewDefinition, compute_rows
+from repro.workload import retail_view_definitions, scd_sales
+
+
+class TestWidening:
+    def test_city_view_gains_region(self, pos):
+        narrow = scd_sales(pos, lattice_friendly=False)
+        widened = widen_with_determined_attributes(narrow)
+        assert widened.group_by == ("city", "date", "region")
+
+    def test_store_key_gains_city_and_region(self, pos):
+        definition = SummaryViewDefinition.create(
+            "by_store", pos, ["storeID"], [("n", CountStar())]
+        )
+        widened = widen_with_determined_attributes(definition)
+        assert set(widened.group_by) == {"storeID", "city", "region"}
+        assert "stores" in widened.dimensions
+
+    def test_widening_preserves_group_count(self, pos):
+        narrow = scd_sales(pos, lattice_friendly=False).resolved()
+        widened = widen_with_determined_attributes(narrow).resolved()
+        assert len(compute_rows(narrow)) == len(compute_rows(widened))
+
+    def test_widening_is_idempotent(self, pos):
+        once = widen_with_determined_attributes(scd_sales(pos, False))
+        twice = widen_with_determined_attributes(once)
+        assert once.group_by == twice.group_by
+
+    def test_no_hierarchy_attrs_is_noop(self, pos):
+        definition = SummaryViewDefinition.create(
+            "by_date", pos, ["date"], [("n", CountStar())]
+        )
+        widened = widen_with_determined_attributes(definition)
+        assert widened.group_by == ("date",)
+
+    def test_widening_enables_region_derivation(self, pos):
+        narrow = scd_sales(pos, lattice_friendly=False).resolved()
+        widened = widen_with_determined_attributes(
+            scd_sales(pos, False)
+        ).resolved()
+        sr = SummaryViewDefinition.create(
+            "sR_sales", pos, ["region"],
+            [("TotalCount", CountStar()), ("TotalQuantity", Sum(col("qty")))],
+            dimensions=["stores"],
+        ).resolved()
+        assert try_derive(sr, narrow) is None
+        assert try_derive(sr, widened) is not None
+
+
+class TestAlignAggregates:
+    def test_aggregates_copied_where_expressible(self, pos):
+        definitions = retail_view_definitions(pos)
+        aligned = align_aggregates(definitions)
+        # MIN(date) (from SiC_sales) is over a fact column: every view can
+        # compute it.
+        for definition in aligned:
+            functions = [output.function for output in definition.aggregates]
+            assert Min(col("date")) in functions
+
+    def test_existing_aggregates_not_duplicated(self, pos):
+        aligned = align_aggregates(retail_view_definitions(pos))
+        for definition in aligned:
+            functions = [output.function for output in definition.aggregates]
+            assert len(functions) == len(set(functions))
+
+    def test_name_clash_suffixed(self, pos):
+        first = SummaryViewDefinition.create(
+            "a", pos, ["storeID"], [("x", Sum(col("qty")))]
+        )
+        second = SummaryViewDefinition.create(
+            "b", pos, ["itemID"], [("x", Sum(col("price")))]
+        )
+        aligned = align_aggregates([first, second])
+        names = [output.name for output in aligned[0].aggregates]
+        assert names == ["x", "x2"]
+
+
+class TestEndToEnd:
+    def test_lattice_friendly_set_forms_single_root_lattice(self, pos):
+        friendly = [
+            definition.resolved()
+            for definition in make_lattice_friendly(retail_view_definitions(pos))
+        ]
+        lattice = ViewLattice.build(friendly)
+        roots = [node for node in lattice.nodes.values() if node.is_root]
+        assert len(roots) == 1 and roots[0].name == "SID_sales"
+
+    def test_friendly_views_still_compute_correctly(self, pos):
+        friendly = make_lattice_friendly(retail_view_definitions(pos))
+        for definition in friendly:
+            rows = compute_rows(definition.resolved())
+            assert len(rows) > 0

@@ -1,0 +1,80 @@
+"""HRU greedy view selection."""
+
+import pytest
+
+from repro.errors import LatticeError
+from repro.lattice import (
+    cube_lattice,
+    exact_node_sizes,
+    greedy_select,
+)
+from repro.relational import Table
+
+
+@pytest.fixture
+def lattice():
+    return cube_lattice(["a", "b"])
+
+
+@pytest.fixture
+def sizes():
+    return {
+        frozenset({"a", "b"}): 100,
+        frozenset({"a"}): 20,
+        frozenset({"b"}): 90,
+        frozenset(): 1,
+    }
+
+
+class TestGreedySelect:
+    def test_top_always_selected(self, lattice, sizes):
+        result = greedy_select(lattice, sizes, view_budget=0)
+        assert result.selected == [frozenset({"a", "b"})]
+        assert result.total_cost == 400  # every node answered from the top
+
+    def test_first_pick_maximises_benefit(self, lattice, sizes):
+        # (a): benefit (100−20)·2 = 160; (b): (100−90)·2 = 20; (): 99.
+        result = greedy_select(lattice, sizes, view_budget=1)
+        assert frozenset({"a"}) in result.selected
+        assert result.steps[0].benefit == 160
+
+    def test_costs_update_between_rounds(self, lattice, sizes):
+        result = greedy_select(lattice, sizes, view_budget=2)
+        # After (a), () costs 20; picking () saves 19, picking (b) saves 10.
+        assert result.selected[-1] == frozenset()
+
+    def test_zero_benefit_stops_early(self, lattice):
+        flat = {node: 10 for node in lattice.nodes}
+        result = greedy_select(lattice, flat, view_budget=3)
+        assert result.selected == [frozenset({"a", "b"})]
+        assert result.steps == []
+
+    def test_total_cost_decreases_monotonically(self, lattice, sizes):
+        costs = [
+            greedy_select(lattice, sizes, view_budget=k).total_cost
+            for k in range(4)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_missing_sizes_rejected(self, lattice):
+        with pytest.raises(LatticeError, match="missing size"):
+            greedy_select(lattice, {}, view_budget=1)
+
+    def test_negative_budget_rejected(self, lattice, sizes):
+        with pytest.raises(LatticeError):
+            greedy_select(lattice, sizes, view_budget=-1)
+
+
+class TestExactNodeSizes:
+    def test_counts_distinct_groupings(self, lattice):
+        source = Table("s", ["a", "b"], [(1, 1), (1, 2), (2, 1), (1, 1)])
+        sizes = exact_node_sizes(lattice, source)
+        assert sizes[frozenset({"a", "b"})] == 3
+        assert sizes[frozenset({"a"})] == 2
+        assert sizes[frozenset({"b"})] == 2
+        assert sizes[frozenset()] == 1
+
+    def test_empty_source(self, lattice):
+        source = Table("s", ["a", "b"])
+        sizes = exact_node_sizes(lattice, source)
+        assert sizes[frozenset()] == 0

@@ -1,0 +1,113 @@
+"""Figure 8: the optimized V-lattice for the retail example."""
+
+import pytest
+
+from repro.lattice import ViewLattice, build_lattice_for_views
+from repro.views import MaterializedView
+from repro.workload import (
+    RetailConfig,
+    generate_retail,
+    retail_view_definitions,
+)
+
+
+@pytest.fixture(scope="module")
+def retail():
+    return generate_retail(RetailConfig(pos_rows=2000, seed=8))
+
+
+@pytest.fixture(scope="module")
+def views(retail):
+    return [
+        MaterializedView.build(definition)
+        for definition in retail_view_definitions(retail.pos)
+    ]
+
+
+@pytest.fixture(scope="module")
+def lattice(views):
+    return build_lattice_for_views(views)
+
+
+class TestFigure8Structure:
+    def test_sid_is_the_root(self, lattice):
+        assert lattice.node("SID_sales").is_root
+        assert [node.name for node in lattice.roots()] == ["SID_sales"]
+
+    def test_sic_derived_from_sid_joining_items(self, lattice):
+        node = lattice.node("SiC_sales")
+        assert node.parent == "SID_sales"
+        assert node.edge.dimension_joins == ("items",)
+
+    def test_scd_derived_from_sid_joining_stores(self, lattice):
+        node = lattice.node("sCD_sales")
+        assert node.parent == "SID_sales"
+        assert node.edge.dimension_joins == ("stores",)
+
+    def test_sr_derived_from_scd_without_joins(self, lattice):
+        # The widened sCD_sales carries region, so sR_sales needs no join —
+        # the whole point of the Section 5.2 rewrite.
+        node = lattice.node("sR_sales")
+        assert node.parent == "sCD_sales"
+        assert node.edge.dimension_joins == ()
+
+    def test_topological_order_starts_at_sid(self, lattice):
+        assert lattice.order[0] == "SID_sales"
+        assert lattice.order.index("sCD_sales") < lattice.order.index("sR_sales")
+
+    def test_describe_matches_figure8(self, lattice):
+        description = lattice.describe()
+        assert "SID_sales <- base data" in description
+        assert "SiC_sales <- SID_sales joining [items]" in description
+        assert "sCD_sales <- SID_sales joining [stores]" in description
+        assert "sR_sales <- sCD_sales" in description
+
+    def test_hasse_diagram_edges(self, lattice):
+        assert set(lattice.graph.edges) == {
+            ("SID_sales", "SiC_sales"),
+            ("SID_sales", "sCD_sales"),
+            ("sCD_sales", "sR_sales"),
+            ("SiC_sales", "sR_sales"),
+        }
+
+
+class TestExample51DerivesRelationships:
+    """Example 5.1 lists the full derives relation (before Hasse reduction)."""
+
+    def test_all_paper_relationships_hold(self, retail, lattice):
+        expected_pairs = {
+            ("SID_sales", "sCD_sales"),
+            ("SID_sales", "SiC_sales"),
+            ("SID_sales", "sR_sales"),
+            ("sCD_sales", "sR_sales"),
+            ("SiC_sales", "sR_sales"),
+        }
+        assert set(lattice.edges.keys()) >= expected_pairs
+
+
+class TestParentSelection:
+    def test_size_hints_drive_parent_choice(self, retail):
+        definitions = [d.resolved() for d in retail_view_definitions(retail.pos)]
+        # Pretend sCD_sales is enormous: sR_sales should switch to SiC_sales.
+        lattice = ViewLattice.build(
+            definitions,
+            size_hints={
+                "SID_sales": 10_000,
+                "sCD_sales": 9_999_999,
+                "SiC_sales": 10,
+                "sR_sales": 5,
+            },
+        )
+        assert lattice.node("sR_sales").parent == "SiC_sales"
+
+    def test_proxy_costs_without_hints(self, retail):
+        definitions = [d.resolved() for d in retail_view_definitions(retail.pos)]
+        lattice = ViewLattice.build(definitions)
+        # Still a valid plan with SID as the only root.
+        assert lattice.node("SID_sales").is_root
+        assert not lattice.node("sR_sales").is_root
+
+    def test_duplicate_names_rejected(self, retail):
+        definition = retail_view_definitions(retail.pos)[0].resolved()
+        with pytest.raises(Exception, match="duplicate"):
+            ViewLattice.build([definition, definition])

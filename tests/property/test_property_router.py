@@ -1,0 +1,79 @@
+"""Property-based testing of the query router: routed == from-base, always."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates import Avg, Count, CountStar, Max, Min, Sum
+from repro.query import AggregateQuery, QueryRouter
+from repro.query.router import _project_user_columns
+from repro.relational import col
+from repro.views import SummaryViewDefinition, compute_rows
+from repro.warehouse import Warehouse
+
+from .test_property_refresh import build_fact, fact_rows
+
+GROUPING_CHOICES = [
+    [], ["storeID"], ["region"], ["category"], ["storeID", "date"],
+    ["city", "category"], ["storeID", "itemID", "date"],
+]
+
+AGGREGATE_CHOICES = [
+    ("n", lambda: CountStar()),
+    ("total", lambda: Sum(col("qty"))),
+    ("n_qty", lambda: Count(col("qty"))),
+    ("lo", lambda: Min(col("qty"))),
+    ("hi", lambda: Max(col("qty"))),
+    ("first", lambda: Min(col("date"))),
+    ("avg_qty", lambda: Avg(col("qty"))),
+]
+
+queries = st.tuples(
+    st.sampled_from(GROUPING_CHOICES),
+    st.lists(st.sampled_from(AGGREGATE_CHOICES), min_size=1, max_size=3,
+             unique_by=lambda choice: choice[0]),
+)
+
+
+def build_router(pos):
+    warehouse = Warehouse()
+    warehouse.add_fact(pos)
+    warehouse.define_summary_table(SummaryViewDefinition.create(
+        "fine", pos, ["storeID", "itemID", "date"],
+        [("n", CountStar()), ("total", Sum(col("qty"))),
+         ("lo", Min(col("qty"))), ("hi", Max(col("qty")))],
+    ))
+    warehouse.define_summary_table(SummaryViewDefinition.create(
+        "by_region", pos, ["region"],
+        [("n", CountStar()), ("total", Sum(col("qty")))],
+        dimensions=["stores"],
+    ))
+    return QueryRouter(warehouse)
+
+
+@settings(max_examples=60, deadline=None)
+@given(base=fact_rows, shape=queries)
+def test_routed_answer_equals_base_answer(base, shape):
+    group_by, aggregate_choices = shape
+    pos = build_fact(base)
+    router = build_router(pos)
+    query = AggregateQuery.create(
+        pos, group_by,
+        [(name, factory()) for name, factory in aggregate_choices],
+    )
+    resolved = query.definition.resolved()
+    expected = _project_user_columns(compute_rows(resolved), resolved, query)
+    got = router.answer(query)
+    assert got.schema == expected.schema
+    # AVG divisions run on identical integer sums/counts on both paths, so
+    # even the float outputs are bit-identical.
+    assert got.sorted_rows() == expected.sorted_rows()
+
+
+@settings(max_examples=30, deadline=None)
+@given(base=fact_rows)
+def test_plan_cost_never_exceeds_base(base):
+    """Routing never reads more input rows than the base fallback would."""
+    pos = build_fact(base)
+    router = build_router(pos)
+    query = AggregateQuery.create(pos, ["region"], [("n", CountStar())])
+    plan = router.plan(query)
+    assert plan.input_rows <= max(len(pos.table), 1) or not plan.uses_summary_table

@@ -1,0 +1,190 @@
+"""Query routing: correctness of answers and quality of routing choices."""
+
+import pytest
+
+from repro.aggregates import Avg, Count, CountStar, Max, Min, Sum
+from repro.errors import DefinitionError
+from repro.query import AggregateQuery, QueryRouter
+from repro.relational import col
+from repro.views import compute_rows
+
+from ..conftest import minmax_definition, sic_definition, sid_definition
+
+
+@pytest.fixture
+def router(warehouse, pos):
+    warehouse.define_summary_table(sid_definition(pos))
+    warehouse.define_summary_table(sic_definition(pos))
+    warehouse.define_summary_table(minmax_definition(pos))
+    return QueryRouter(warehouse)
+
+
+def oracle(query):
+    """Answer the query from base data, projected to its user columns."""
+    from repro.query.router import _project_user_columns
+
+    resolved = query.definition.resolved()
+    return _project_user_columns(compute_rows(resolved), resolved, query)
+
+
+class TestQueryConstruction:
+    def test_dimensions_inferred_from_group_by(self, pos):
+        query = AggregateQuery.create(
+            pos, ["category"], [("n", CountStar())]
+        )
+        assert query.definition.dimensions == ("items",)
+
+    def test_dimensions_inferred_from_aggregate_argument(self, pos):
+        query = AggregateQuery.create(
+            pos, ["storeID"], [("avg_cost", Avg(col("cost")))]
+        )
+        assert query.definition.dimensions == ("items",)
+
+    def test_unknown_attribute_rejected(self, pos):
+        with pytest.raises(DefinitionError, match="unknown attributes"):
+            AggregateQuery.create(pos, ["ghost"], [("n", CountStar())])
+
+    def test_explicit_dimensions_honoured(self, pos):
+        query = AggregateQuery.create(
+            pos, ["region"], [("n", CountStar())], dimensions=["stores"]
+        )
+        assert query.definition.dimensions == ("stores",)
+
+
+class TestRouting:
+    def test_routes_to_cheapest_capable_view(self, router, pos):
+        # Per-region totals: derivable from span_sales (4 rows... actually
+        # 2 regions), SiC_sales (via stores? no — SiC lacks region), and
+        # SID_sales.  The smallest capable view must win.
+        query = AggregateQuery.create(
+            pos, ["region"], [("total", Sum(col("qty")))],
+        )
+        plan = router.plan(query)
+        assert plan.uses_summary_table
+        assert plan.source_view.name == "span_sales"
+
+    def test_falls_back_to_base_when_no_view_capable(self, router, pos):
+        # AVG(price) appears in no view and price is not a group-by.
+        query = AggregateQuery.create(
+            pos, ["storeID"], [("avg_price", Avg(col("price")))]
+        )
+        plan = router.plan(query)
+        assert not plan.uses_summary_table
+        assert "base data" in plan.describe()
+
+    def test_finest_query_routes_to_sid(self, router, pos):
+        query = AggregateQuery.create(
+            pos, ["storeID", "itemID"], [("n", CountStar())]
+        )
+        plan = router.plan(query)
+        assert plan.source_view.name == "SID_sales"
+
+    def test_explain_mentions_view_and_rows(self, router, pos):
+        query = AggregateQuery.create(pos, ["region"], [("n", CountStar())])
+        explanation = router.explain(query)
+        assert "span_sales" in explanation and "rows" in explanation
+
+
+class TestAnswers:
+    @pytest.mark.parametrize(
+        "group_by,aggregates",
+        [
+            (["region"], [("total", Sum(col("qty")))]),
+            (["category"], [("n", CountStar()), ("total", Sum(col("qty")))]),
+            (["storeID"], [("first", Min(col("date")))]),
+            (["city"], [("n", CountStar())]),
+            ([], [("grand_total", Sum(col("qty")))]),
+            (["storeID", "itemID", "date"], [("n", CountStar())]),
+        ],
+    )
+    def test_routed_answers_match_base_computation(
+        self, router, pos, group_by, aggregates
+    ):
+        query = AggregateQuery.create(pos, group_by, aggregates)
+        assert router.answer(query).sorted_rows() == oracle(query).sorted_rows()
+
+    def test_fallback_answers_match_base_computation(self, router, pos):
+        query = AggregateQuery.create(
+            pos, ["itemID"], [("top_price", Max(col("price")))]
+        )
+        plan = router.plan(query)
+        assert not plan.uses_summary_table
+        assert router.answer(query).sorted_rows() == oracle(query).sorted_rows()
+
+    def test_avg_query_answered_from_view(self, router, pos):
+        query = AggregateQuery.create(
+            pos, ["region"], [("avg_qty", Avg(col("qty")))]
+        )
+        plan = router.plan(query)
+        assert plan.uses_summary_table  # SUM(qty) and COUNT(qty) stored
+        result = {row[0]: row[1] for row in router.answer(query).scan()}
+        expected = {row[0]: row[1] for row in oracle(query).scan()}
+        for region, value in expected.items():
+            assert result[region] == pytest.approx(value)
+
+    def test_count_expr_query(self, router, pos):
+        query = AggregateQuery.create(
+            pos, ["region"], [("n_dates", Count(col("date")))]
+        )
+        assert router.answer(query).sorted_rows() == oracle(query).sorted_rows()
+
+    def test_answer_schema_is_exactly_the_query_columns(self, router, pos):
+        query = AggregateQuery.create(pos, ["region"], [("n", CountStar())])
+        result = router.answer(query)
+        assert result.schema.columns == ("region", "n")
+
+    def test_answers_stay_correct_after_maintenance(self, router, pos, warehouse):
+        from repro.lattice import maintain_lattice
+
+        changes = warehouse.pending_changes("pos")
+        changes.insert((1, 13, 8, 9, 1.3))
+        changes.delete((2, 12, 3, 5, 1.6))
+        maintain_lattice(warehouse.views_over("pos"), changes)
+
+        query = AggregateQuery.create(pos, ["category"], [("total", Sum(col("qty")))])
+        assert router.answer(query).sorted_rows() == oracle(query).sorted_rows()
+
+
+class TestFreshReads:
+    def test_pending_delta_compensates_routed_answer(self, router, pos, warehouse):
+        from repro.core import MinMaxPolicy, PropagateOptions, compute_summary_delta
+
+        # Changes are computed into deltas but NOT refreshed.  span_sales
+        # carries MIN/MAX, so the SPLIT policy is needed for compensated
+        # reads: insert-only deltas then never consult base data.
+        changes = warehouse.pending_changes("pos")
+        changes.insert((1, 13, 8, 9, 1.3))
+        view = warehouse.view("span_sales")
+        delta = compute_summary_delta(
+            view.definition, changes,
+            PropagateOptions(policy=MinMaxPolicy.SPLIT),
+        )
+
+        query = AggregateQuery.create(pos, ["region"], [("total", Sum(col("qty")))])
+        assert router.plan(query).source_view.name == "span_sales"
+
+        stale = {row[0]: row[1] for row in router.answer(query).scan()}
+        fresh = {
+            row[0]: row[1]
+            for row in router.answer(
+                query, pending_deltas={"span_sales": delta}
+            ).scan()
+        }
+        assert fresh["west"] == stale["west"] + 9
+        # The stored view itself is untouched.
+        assert {r[0]: r for r in view.table.scan()}["west"] is not None
+        changes.apply_to(pos.table)
+        assert fresh == {row[0]: row[1] for row in oracle(query).scan()}
+
+    def test_unrelated_pending_deltas_ignored(self, router, pos, warehouse):
+        from repro.core import compute_summary_delta
+
+        changes = warehouse.pending_changes("pos")
+        changes.insert((1, 13, 8, 9, 1.3))
+        sid = warehouse.view("SID_sales")
+        delta = compute_summary_delta(sid.definition, changes)
+        query = AggregateQuery.create(pos, ["region"], [("n", CountStar())])
+        # Routed to span_sales; a pending SID delta is irrelevant.
+        with_delta = router.answer(query, pending_deltas={"SID_sales": delta})
+        without = router.answer(query)
+        assert with_delta.sorted_rows() == without.sorted_rows()

@@ -1,0 +1,160 @@
+"""Expression binding, null semantics, rendering, and structural equality."""
+
+import pytest
+
+from repro.errors import ExpressionError, SchemaError
+from repro.relational import Case, Schema, col, lit
+from repro.relational.expressions import And, Comparison, IsNull, Neg, Not, Or
+
+SCHEMA = Schema(["a", "b", "c"])
+
+
+def evaluate(expr, row):
+    return expr.bind(SCHEMA)(row)
+
+
+class TestColumnAndLiteral:
+    def test_column_reads_position(self):
+        assert evaluate(col("b"), (1, 2, 3)) == 2
+
+    def test_column_unknown_raises_at_bind(self):
+        with pytest.raises(SchemaError):
+            col("zz").bind(SCHEMA)
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(ExpressionError):
+            col("")
+
+    def test_literal(self):
+        assert evaluate(lit(42), (0, 0, 0)) == 42
+
+    def test_literal_none_renders_null(self):
+        assert lit(None).render() == "NULL"
+
+    def test_literal_string_quoting(self):
+        assert lit("o'hara").render() == "'o''hara'"
+
+    def test_columns_reported(self):
+        expr = (col("a") + col("b")) * lit(2)
+        assert expr.columns() == {"a", "b"}
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert evaluate(col("a") + col("b"), (1, 2, 0)) == 3
+
+    def test_sub(self):
+        assert evaluate(col("a") - lit(1), (5, 0, 0)) == 4
+
+    def test_mul(self):
+        assert evaluate(col("a") * col("b"), (3, 4, 0)) == 12
+
+    def test_neg(self):
+        assert evaluate(-col("a"), (7, 0, 0)) == -7
+
+    def test_null_propagates_through_arithmetic(self):
+        assert evaluate(col("a") + col("b"), (None, 2, 0)) is None
+        assert evaluate(col("a") * col("b"), (3, None, 0)) is None
+        assert evaluate(-col("a"), (None, 0, 0)) is None
+
+    def test_coercion_of_raw_values(self):
+        assert evaluate(col("a") + 5, (1, 0, 0)) == 6
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "method,row,expected",
+        [
+            ("eq", (1, 1, 0), True),
+            ("eq", (1, 2, 0), False),
+            ("ne", (1, 2, 0), True),
+            ("lt", (1, 2, 0), True),
+            ("le", (2, 2, 0), True),
+            ("gt", (3, 2, 0), True),
+            ("ge", (2, 2, 0), True),
+        ],
+    )
+    def test_comparators(self, method, row, expected):
+        expr = getattr(col("a"), method)(col("b"))
+        assert evaluate(expr, row) is expected
+
+    @pytest.mark.parametrize("method", ["eq", "ne", "lt", "le", "gt", "ge"])
+    def test_null_comparisons_are_false(self, method):
+        expr = getattr(col("a"), method)(col("b"))
+        assert evaluate(expr, (None, 2, 0)) is False
+        assert evaluate(expr, (1, None, 0)) is False
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("!", col("a"), col("b"))
+
+
+class TestLogic:
+    def test_and(self):
+        expr = And(col("a").gt(lit(0)), col("b").gt(lit(0)))
+        assert evaluate(expr, (1, 1, 0)) is True
+        assert evaluate(expr, (1, -1, 0)) is False
+
+    def test_or(self):
+        expr = Or(col("a").gt(lit(0)), col("b").gt(lit(0)))
+        assert evaluate(expr, (-1, 1, 0)) is True
+        assert evaluate(expr, (-1, -1, 0)) is False
+
+    def test_not(self):
+        assert evaluate(Not(col("a").gt(lit(0))), (-1, 0, 0)) is True
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(ExpressionError):
+            And()
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(ExpressionError):
+            Or()
+
+    def test_is_null(self):
+        assert evaluate(IsNull(col("a")), (None, 0, 0)) is True
+        assert evaluate(col("a").is_null(), (1, 0, 0)) is False
+
+
+class TestCase:
+    def test_first_matching_branch_wins(self):
+        expr = Case(
+            [(col("a").gt(lit(0)), lit("pos")), (col("a").lt(lit(0)), lit("neg"))],
+            lit("zero"),
+        )
+        assert evaluate(expr, (5, 0, 0)) == "pos"
+        assert evaluate(expr, (-5, 0, 0)) == "neg"
+        assert evaluate(expr, (0, 0, 0)) == "zero"
+
+    def test_unknown_condition_falls_through(self):
+        expr = Case([(col("a").gt(lit(0)), lit(1))], lit(0))
+        assert evaluate(expr, (None, 0, 0)) == 0
+
+    def test_empty_branches_rejected(self):
+        with pytest.raises(ExpressionError):
+            Case([], lit(0))
+
+    def test_render(self):
+        expr = Case([(col("a").is_null(), lit(0))], lit(1))
+        assert expr.render() == "CASE WHEN (a IS NULL) THEN 0 ELSE 1 END"
+
+
+class TestEqualityAndRendering:
+    def test_structural_equality(self):
+        assert col("a") + lit(1) == col("a") + lit(1)
+
+    def test_inequality(self):
+        assert col("a") != col("b")
+        assert col("a") + lit(1) != col("a") + lit(2)
+
+    def test_hash_consistency(self):
+        assert hash(col("a") * col("b")) == hash(col("a") * col("b"))
+
+    def test_render_arithmetic(self):
+        assert (col("a") * col("b")).render() == "(a * b)"
+
+    def test_render_negation(self):
+        assert Neg(col("qty")).render() == "-qty"
+
+    def test_repr_includes_render(self):
+        assert "(a + 1)" in repr(col("a") + lit(1))

@@ -1,0 +1,143 @@
+"""Physical operators: select, project, joins, unions, distinct."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.relational import (
+    Table,
+    col,
+    distinct,
+    hash_join,
+    left_outer_join,
+    lit,
+    project,
+    rows_from,
+    select,
+    union_all,
+)
+
+
+@pytest.fixture
+def left():
+    return Table("l", ["k", "v"], [(1, "a"), (2, "b"), (2, "c"), (None, "n")])
+
+
+@pytest.fixture
+def right():
+    return Table("r", ["k", "w"], [(1, 10.0), (2, 20.0), (3, 30.0)])
+
+
+class TestSelect:
+    def test_filters_rows(self, left):
+        result = select(left, col("k").eq(lit(2)))
+        assert result.rows() == [(2, "b"), (2, "c")]
+
+    def test_null_rows_filtered_out(self, left):
+        result = select(left, col("k").ge(lit(0)))
+        assert (None, "n") not in result.rows()
+
+    def test_input_not_mutated(self, left):
+        select(left, col("k").eq(lit(1)))
+        assert len(left) == 4
+
+
+class TestProject:
+    def test_reorders_and_computes(self, left):
+        result = project(left, [("v", col("v")), ("k2", col("k") * lit(2))])
+        assert result.schema.columns == ("v", "k2")
+        assert result.rows()[0] == ("a", 2)
+
+    def test_keeps_duplicates(self):
+        table = Table("t", ["a"], [(1,), (1,)])
+        assert len(project(table, [("a", col("a"))])) == 2
+
+    def test_null_in_computed_column(self, left):
+        result = project(left, [("k2", col("k") + lit(1))])
+        assert result.rows()[-1] == (None,)
+
+
+class TestDistinct:
+    def test_removes_duplicates(self):
+        table = Table("t", ["a", "b"], [(1, 2), (1, 2), (3, 4)])
+        assert distinct(table).rows() == [(1, 2), (3, 4)]
+
+    def test_null_rows_deduplicated(self):
+        table = Table("t", ["a"], [(None,), (None,)])
+        assert len(distinct(table)) == 1
+
+
+class TestUnionAll:
+    def test_concatenates(self):
+        first = Table("a", ["x"], [(1,)])
+        second = Table("b", ["x"], [(2,), (1,)])
+        assert union_all([first, second]).rows() == [(1,), (2,), (1,)]
+
+    def test_schema_mismatch_raises(self):
+        first = Table("a", ["x"], [])
+        second = Table("b", ["y"], [])
+        with pytest.raises(TableError, match="schema mismatch"):
+            union_all([first, second])
+
+    def test_empty_input_list_raises(self):
+        with pytest.raises(TableError):
+            union_all([])
+
+
+class TestHashJoin:
+    def test_basic_join(self, left, right):
+        result = hash_join(left, right, on=[("k", "k")])
+        assert result.schema.columns == ("k", "v", "r.k", "w")
+        assert sorted(result.rows()) == [
+            (1, "a", 1, 10.0),
+            (2, "b", 2, 20.0),
+            (2, "c", 2, 20.0),
+        ]
+
+    def test_null_keys_never_match(self, left):
+        null_side = Table("r", ["k", "w"], [(None, 0.0)])
+        result = hash_join(left, null_side, on=[("k", "k")])
+        assert len(result) == 0
+
+    def test_uses_right_index_when_present(self, left, right):
+        right.create_index(["k"])
+        result = hash_join(left, right, on=[("k", "k")])
+        assert len(result) == 3
+
+    def test_composite_keys(self):
+        first = Table("a", ["x", "y", "p"], [(1, 1, "q"), (1, 2, "r")])
+        second = Table("b", ["x", "y", "s"], [(1, 2, "z")])
+        result = hash_join(first, second, on=[("x", "x"), ("y", "y")])
+        assert result.rows() == [(1, 2, "r", 1, 2, "z")]
+
+    def test_empty_on_raises(self, left, right):
+        with pytest.raises(TableError):
+            hash_join(left, right, on=[])
+
+    def test_bag_semantics_multiplicities(self):
+        first = Table("a", ["k"], [(1,), (1,)])
+        second = Table("b", ["k", "v"], [(1, "x"), (1, "y")])
+        result = hash_join(first, second, on=[("k", "k")])
+        assert len(result) == 4
+
+
+class TestLeftOuterJoin:
+    def test_unmatched_left_rows_padded(self, left, right):
+        result = left_outer_join(left, right, on=[("k", "k")])
+        padded = [row for row in result.rows() if row[2] is None]
+        # The null-key row never matches and is padded.
+        assert (None, "n", None, None) in padded
+
+    def test_all_left_rows_present(self, left, right):
+        result = left_outer_join(left, right, on=[("k", "k")])
+        assert len(result) == 4
+
+    def test_empty_on_raises(self, left, right):
+        with pytest.raises(TableError):
+            left_outer_join(left, right, on=[])
+
+
+class TestRowsFrom:
+    def test_builds_ad_hoc_table(self):
+        table = rows_from(["a", "b"], [(1, 2)], name="adhoc")
+        assert table.name == "adhoc"
+        assert table.rows() == [(1, 2)]

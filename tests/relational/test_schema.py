@@ -1,0 +1,98 @@
+"""Schema construction, lookup, and combination."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Schema
+
+
+class TestConstruction:
+    def test_preserves_order(self):
+        schema = Schema(["b", "a", "c"])
+        assert schema.columns == ("b", "a", "c")
+
+    def test_accepts_any_iterable(self):
+        schema = Schema(name for name in ["x", "y"])
+        assert schema.columns == ("x", "y")
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a", "b", "a"])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", ""])
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", 3])
+
+
+class TestLookup:
+    def test_position(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.position("b") == 1
+
+    def test_positions_many(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.positions(["c", "a"]) == (2, 0)
+
+    def test_unknown_column_raises(self):
+        schema = Schema(["a"])
+        with pytest.raises(SchemaError, match="unknown column"):
+            schema.position("z")
+
+    def test_contains(self):
+        schema = Schema(["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_len_and_iter(self):
+        schema = Schema(["a", "b", "c"])
+        assert len(schema) == 3
+        assert list(schema) == ["a", "b", "c"]
+
+
+class TestEquality:
+    def test_equal_schemas(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+
+    def test_order_matters(self):
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+
+    def test_hashable(self):
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+
+class TestCombination:
+    def test_project(self):
+        schema = Schema(["a", "b", "c"]).project(["c", "a"])
+        assert schema.columns == ("c", "a")
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).project(["b"])
+
+    def test_concat_disjoint(self):
+        merged = Schema(["a"]).concat(Schema(["b"]))
+        assert merged.columns == ("a", "b")
+
+    def test_concat_conflict_raises_without_prefix(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_concat_conflict_prefixed(self):
+        merged = Schema(["a", "b"]).concat(Schema(["a", "c"]), prefix_conflicts="r")
+        assert merged.columns == ("a", "b", "r.a", "c")
+
+    def test_rename(self):
+        renamed = Schema(["a", "b"]).rename({"a": "x"})
+        assert renamed.columns == ("x", "b")
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).rename({"z": "x"})

@@ -1,0 +1,80 @@
+"""Tuple-access accounting."""
+
+from repro.relational import Table, measuring
+from repro.relational.stats import collector
+
+
+class TestMeasuring:
+    def test_disabled_by_default(self):
+        assert collector() is None
+
+    def test_scan_counted(self):
+        table = Table("t", ["a"], [(1,), (2,), (3,)])
+        with measuring() as stats:
+            list(table.scan())
+        assert stats.rows_scanned == 3
+
+    def test_tombstones_not_counted(self):
+        table = Table("t", ["a"], [(1,), (2,)])
+        table.delete_slot(0)
+        with measuring() as stats:
+            list(table.scan())
+        assert stats.rows_scanned == 1
+
+    def test_mutations_counted(self):
+        table = Table("t", ["a"], [(1,)])
+        with measuring() as stats:
+            table.insert((2,))
+            table.update_slot(0, (9,))
+            table.delete_slot(0)
+        assert stats.rows_inserted == 1
+        assert stats.rows_updated == 1
+        assert stats.rows_deleted == 1
+
+    def test_index_lookups_counted(self):
+        table = Table("t", ["a"], [(1,), (1,)])
+        index = table.create_index(["a"])
+        with measuring() as stats:
+            index.lookup((1,))
+            index.lookup((9,))
+        assert stats.index_lookups == 2
+
+    def test_counting_stops_after_block(self):
+        table = Table("t", ["a"], [(1,)])
+        with measuring() as stats:
+            list(table.scan())
+        list(table.scan())
+        assert stats.rows_scanned == 1
+        assert collector() is None
+
+    def test_nested_blocks_share_collector(self):
+        table = Table("t", ["a"], [(1,)])
+        with measuring() as outer:
+            with measuring() as inner:
+                list(table.scan())
+            assert inner is outer
+        assert outer.rows_scanned == 1
+
+    def test_collector_cleared_on_exception(self):
+        try:
+            with measuring():
+                raise ValueError
+        except ValueError:
+            pass
+        assert collector() is None
+
+    def test_total_accesses(self):
+        table = Table("t", ["a"], [(1,)])
+        with measuring() as stats:
+            list(table.scan())
+            table.insert((2,))
+        assert stats.total_accesses == 2
+
+    def test_snapshot_is_independent(self):
+        table = Table("t", ["a"], [(1,)])
+        with measuring() as stats:
+            list(table.scan())
+            frozen = stats.snapshot()
+            list(table.scan())
+        assert frozen.rows_scanned == 1
+        assert stats.rows_scanned == 2

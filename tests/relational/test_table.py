@@ -1,0 +1,177 @@
+"""Table mutation, bag semantics, and index consistency."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.relational import Table
+
+
+@pytest.fixture
+def table():
+    return Table("t", ["a", "b"], [(1, "x"), (2, "y"), (1, "x")])
+
+
+class TestBasics:
+    def test_len_counts_live_rows(self, table):
+        assert len(table) == 3
+
+    def test_duplicates_allowed(self, table):
+        assert table.rows().count((1, "x")) == 2
+
+    def test_scan_order_is_slot_order(self, table):
+        assert list(table.scan()) == [(1, "x"), (2, "y"), (1, "x")]
+
+    def test_arity_checked_on_insert(self, table):
+        with pytest.raises(TableError, match="arity"):
+            table.insert((1,))
+
+    def test_row_at_empty_slot_raises(self, table):
+        table.delete_slot(0)
+        with pytest.raises(TableError):
+            table.row_at(0)
+
+    def test_repr_mentions_name_and_size(self, table):
+        assert "t" in repr(table) and "3 rows" in repr(table)
+
+
+class TestMutation:
+    def test_delete_slot_returns_row(self, table):
+        assert table.delete_slot(1) == (2, "y")
+        assert len(table) == 2
+
+    def test_slot_reuse_after_delete(self, table):
+        table.delete_slot(1)
+        slot = table.insert((9, "z"))
+        assert slot == 1
+
+    def test_update_slot(self, table):
+        table.update_slot(0, (5, "w"))
+        assert table.row_at(0) == (5, "w")
+
+    def test_delete_where(self, table):
+        removed = table.delete_where(lambda row: row[0] == 1)
+        assert removed == 2
+        assert table.rows() == [(2, "y")]
+
+    def test_delete_one_matching_removes_single_occurrence(self, table):
+        assert table.delete_one_matching((1, "x"))
+        assert table.rows().count((1, "x")) == 1
+
+    def test_delete_one_matching_missing_returns_false(self, table):
+        assert not table.delete_one_matching((9, "q"))
+
+    def test_truncate(self, table):
+        table.create_index(["a"])
+        table.truncate()
+        assert len(table) == 0
+        assert len(table.index_on(["a"])) == 0
+
+    def test_insert_many_returns_count(self):
+        table = Table("t", ["a"])
+        assert table.insert_many([(1,), (2,)]) == 2
+
+
+class TestIndexes:
+    def test_index_built_over_existing_rows(self, table):
+        index = table.create_index(["a"])
+        assert sorted(index.lookup((1,))) == [0, 2]
+
+    def test_index_maintained_on_insert(self, table):
+        index = table.create_index(["a"])
+        table.insert((1, "q"))
+        assert len(index.lookup((1,))) == 3
+
+    def test_index_maintained_on_delete(self, table):
+        index = table.create_index(["a"])
+        table.delete_slot(0)
+        assert index.lookup((1,)) == [2]
+
+    def test_index_maintained_on_update(self, table):
+        index = table.create_index(["a"])
+        table.update_slot(0, (7, "x"))
+        assert index.lookup((7,)) == [0]
+        assert index.lookup((1,)) == [2]
+
+    def test_update_with_same_key_keeps_index(self, table):
+        index = table.create_index(["a"])
+        table.update_slot(0, (1, "changed"))
+        assert sorted(index.lookup((1,))) == [0, 2]
+
+    def test_create_index_idempotent(self, table):
+        first = table.create_index(["a"])
+        second = table.create_index(["a"])
+        assert first is second
+
+    def test_conflicting_uniqueness_raises(self, table):
+        table.create_index(["b"])
+        with pytest.raises(TableError):
+            table.create_index(["b"], unique=True)
+
+    def test_unique_index_violation(self):
+        table = Table("t", ["a"], [(1,), (1,)])
+        with pytest.raises(TableError, match="unique"):
+            table.create_index(["a"], unique=True)
+
+    def test_index_on_missing_returns_none(self, table):
+        assert table.index_on(["b"]) is None
+
+
+class TestDomainTracking:
+    def test_untracked_returns_none(self, table):
+        assert table.domain("a") is None
+
+    def test_tracked_domain_reflects_existing_rows(self, table):
+        table.track_domain("a")
+        assert set(table.domain("a")) == {1, 2}
+
+    def test_domain_maintained_on_insert(self, table):
+        table.track_domain("a")
+        table.insert((7, "q"))
+        assert 7 in table.domain("a")
+
+    def test_domain_maintained_on_delete(self, table):
+        table.track_domain("a")
+        table.delete_slot(1)  # the only row with a=2
+        assert 2 not in table.domain("a")
+        table.delete_slot(0)  # one of two rows with a=1
+        assert 1 in table.domain("a")
+
+    def test_domain_maintained_on_update(self, table):
+        table.track_domain("a")
+        table.update_slot(1, (9, "y"))
+        assert 9 in table.domain("a") and 2 not in table.domain("a")
+
+    def test_track_domain_is_idempotent(self, table):
+        table.track_domain("a")
+        table.track_domain("a")
+        table.insert((3, "z"))
+        assert set(table.domain("a")) == {1, 2, 3}
+
+    def test_truncate_clears_domain(self, table):
+        table.track_domain("a")
+        table.truncate()
+        assert table.domain("a") == ()
+
+    def test_copy_preserves_tracking(self, table):
+        table.track_domain("a")
+        clone = table.copy()
+        assert set(clone.domain("a")) == {1, 2}
+
+
+class TestCopyAndHelpers:
+    def test_copy_is_deep_for_rows(self, table):
+        clone = table.copy("clone")
+        table.insert((8, "n"))
+        assert len(clone) == 3
+
+    def test_copy_preserves_index_definitions(self, table):
+        table.create_index(["a"])
+        clone = table.copy()
+        assert clone.index_on(["a"]) is not None
+
+    def test_column_values(self, table):
+        assert table.column_values("a") == [1, 2, 1]
+
+    def test_sorted_rows_puts_nulls_first(self):
+        table = Table("t", ["a"], [(2,), (None,), (1,)])
+        assert table.sorted_rows() == [(None,), (1,), (2,)]

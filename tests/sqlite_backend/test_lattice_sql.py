@@ -1,0 +1,86 @@
+"""Theorem 5.1 executed in SQL: the D-lattice on the SQLite backend."""
+
+import pytest
+
+from repro.lattice import build_lattice_for_views, maintain_lattice
+from repro.sqlite_backend import SqliteWarehouse, edge_delta_select_sql
+from repro.views import MaterializedView
+from repro.workload import (
+    RetailConfig,
+    build_retail_warehouse,
+    generate_retail,
+    retail_view_definitions,
+    update_generating_changes,
+)
+
+
+@pytest.fixture
+def setup():
+    data = generate_retail(RetailConfig(pos_rows=1500, seed=23))
+    sqlite_wh = SqliteWarehouse()
+    sqlite_wh.load_fact(data.pos)
+    for definition in retail_view_definitions(data.pos):
+        sqlite_wh.define_summary_table(definition)
+    changes = update_generating_changes(data.pos, data.config, 200, data.rng)
+    return data, sqlite_wh, changes
+
+
+class TestEdgeSql:
+    def test_edge_sql_matches_engine_edge(self, setup):
+        data, sqlite_wh, changes = setup
+        engine_views = [
+            MaterializedView.build(definition)
+            for definition in retail_view_definitions(data.pos)
+        ]
+        lattice = build_lattice_for_views(engine_views)
+        node = lattice.node("SiC_sales")
+        sql = edge_delta_select_sql(node.edge, "SID_sales")
+        # Applied to the parent *summary table* it derives the child view.
+        rows = sqlite_wh.connection.execute(sql).fetchall()
+        expected = {tuple(r) for r in sqlite_wh.rows("SiC_sales")}
+        assert {tuple(r) for r in rows} == expected
+
+    def test_edge_sql_mentions_join_when_annotated(self, setup):
+        data, sqlite_wh, changes = setup
+        engine_views = [
+            MaterializedView.build(definition)
+            for definition in retail_view_definitions(data.pos)
+        ]
+        lattice = build_lattice_for_views(engine_views)
+        sql = edge_delta_select_sql(lattice.node("SiC_sales").edge, "sd_SID_sales")
+        assert '"items"' in sql
+        sql = edge_delta_select_sql(lattice.node("sR_sales").edge, "sd_sCD_sales")
+        assert '"stores"' not in sql  # region rides along, no join needed
+
+
+class TestLatticeMaintenance:
+    def test_lattice_propagate_order(self, setup):
+        data, sqlite_wh, changes = setup
+        sqlite_wh.load_changes(changes)
+        order = sqlite_wh.propagate_lattice()
+        assert order[0] == "SID_sales"
+        assert set(order) == set(sqlite_wh.summaries)
+
+    def test_lattice_maintenance_agrees_with_engine(self, setup):
+        data, sqlite_wh, changes = setup
+        engine_wh = build_retail_warehouse(data)
+        views = engine_wh.views_over("pos")
+
+        sqlite_wh.maintain(changes, use_lattice=True)
+        maintain_lattice(views, changes)
+        for view in views:
+            sqlite_rows = [tuple(r) for r in sqlite_wh.sorted_rows(view.name)]
+            assert sqlite_rows == view.table.sorted_rows(), view.name
+
+    def test_lattice_and_direct_deltas_identical_in_sql(self, setup):
+        data, sqlite_wh, changes = setup
+        sqlite_wh.load_changes(changes)
+        sqlite_wh.propagate_lattice()
+        lattice_deltas = {
+            name: sqlite_wh.sorted_rows(summary.delta_name)
+            for name, summary in sqlite_wh.summaries.items()
+        }
+        for summary in sqlite_wh.summaries.values():
+            sqlite_wh.propagate(summary)  # direct recomputation
+        for name, summary in sqlite_wh.summaries.items():
+            assert sqlite_wh.sorted_rows(summary.delta_name) == lattice_deltas[name]

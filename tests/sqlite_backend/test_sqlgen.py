@@ -1,0 +1,128 @@
+"""SQL generation for the SQLite backend: text shape and executability."""
+
+import pytest
+
+from repro.sqlite_backend import (
+    connect,
+    group_recompute_sql,
+    load_fact,
+    materialize_select_sql,
+    prepare_select_sql,
+    summary_delta_select_sql,
+)
+from repro.sqlite_backend.schema import create_table
+from repro.sqlite_backend.sqlgen import render_qualified
+from repro.relational import Case, col, lit
+
+from ..conftest import sic_definition, sid_definition
+
+
+@pytest.fixture
+def connection(pos):
+    conn = connect()
+    load_fact(conn, pos)
+    create_table(conn, "pos_ins", pos.columns, [(1, 10, 5, 7, 1.0)])
+    create_table(conn, "pos_del", pos.columns, [(2, 12, 3, 5, 1.6)])
+    return conn
+
+
+class TestRenderQualified:
+    def qualify(self, name):
+        return f'"t"."{name}"'
+
+    def test_column(self):
+        assert render_qualified(col("qty"), self.qualify) == '"t"."qty"'
+
+    def test_arithmetic(self):
+        rendered = render_qualified(-(col("a") * col("b")), self.qualify)
+        assert rendered == '-("t"."a" * "t"."b")'
+
+    def test_case(self):
+        expression = Case([(col("x").is_null(), lit(0))], lit(1))
+        rendered = render_qualified(expression, self.qualify)
+        assert rendered == 'CASE WHEN ("t"."x" IS NULL) THEN 0 ELSE 1 END'
+
+    def test_comparison_and_logic(self):
+        from repro.relational.expressions import And
+
+        expression = And(col("a").gt(lit(1)), col("b").le(lit(2)))
+        rendered = render_qualified(expression, self.qualify)
+        assert rendered == '(("t"."a" > 1) AND ("t"."b" <= 2))'
+
+
+class TestMaterializeSql:
+    def test_executes_and_matches_engine(self, pos, connection):
+        from repro.views import compute_rows
+
+        definition = sic_definition(pos).resolved()
+        rows = connection.execute(materialize_select_sql(definition)).fetchall()
+        engine_rows = compute_rows(definition).rows()
+        assert sorted(map(tuple, rows)) == sorted(engine_rows)
+
+    def test_qualifies_ambiguous_columns(self, pos):
+        definition = sic_definition(pos).resolved()
+        sql = materialize_select_sql(definition)
+        assert '"pos"."storeID"' in sql
+        assert '"items"."category"' in sql
+
+
+class TestPrepareSql:
+    def test_insertion_side_executes(self, pos, connection):
+        definition = sic_definition(pos).resolved()
+        rows = connection.execute(
+            prepare_select_sql(definition, deletion=False)
+        ).fetchall()
+        (row,) = rows
+        assert row[0] == 1 and row[1] == "fruit" and row[2] == 1
+
+    def test_deletion_side_negates(self, pos, connection):
+        definition = sid_definition(pos).resolved()
+        (row,) = connection.execute(
+            prepare_select_sql(definition, deletion=True)
+        ).fetchall()
+        assert row[3] == -1 and row[4] == -5
+
+    def test_reads_change_tables_not_base(self, pos, connection):
+        definition = sid_definition(pos).resolved()
+        sql = prepare_select_sql(definition, deletion=False)
+        assert '"pos_ins"' in sql and 'FROM "pos"' not in sql
+
+
+class TestSummaryDeltaSql:
+    def test_executes_and_matches_engine_delta(self, pos, connection):
+        from repro.core import compute_summary_delta
+        from repro.warehouse import ChangeSet
+
+        definition = sid_definition(pos).resolved()
+        sql_rows = connection.execute(
+            summary_delta_select_sql(definition)
+        ).fetchall()
+
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.insert((1, 10, 5, 7, 1.0))
+        changes.delete((2, 12, 3, 5, 1.6))
+        engine_delta = compute_summary_delta(definition, changes)
+        assert sorted(map(tuple, sql_rows)) == sorted(engine_delta.table.rows())
+
+    def test_union_all_of_both_prepare_sides(self, pos):
+        definition = sid_definition(pos).resolved()
+        sql = summary_delta_select_sql(definition)
+        assert "UNION ALL" in sql
+        assert sql.count("SELECT") == 3  # outer + two prepare sides
+
+
+class TestGroupRecomputeSql:
+    def test_recomputes_one_group(self, pos, connection):
+        definition = sic_definition(pos).resolved()
+        row = connection.execute(
+            group_recompute_sql(definition), (3, "fruit")
+        ).fetchone()
+        # Store 3 fruit: two sales, dates {1, 4}, qty {6, 2}.
+        assert tuple(row)[:3] == (2, 1, 8)
+
+    def test_null_safe_group_match(self, pos, connection):
+        definition = sid_definition(pos).resolved()
+        row = connection.execute(
+            group_recompute_sql(definition), (1, 10, 1)
+        ).fetchone()
+        assert row is not None

@@ -1,0 +1,157 @@
+"""The SQLite warehouse driver: maintenance semantics on a real RDBMS."""
+
+import pytest
+
+from repro.errors import InconsistentDeltaError, MaintenanceError
+from repro.sqlite_backend import SqliteWarehouse
+from repro.warehouse import ChangeSet
+
+from ..conftest import sic_definition, sid_definition
+
+
+@pytest.fixture
+def sqlite_wh(pos):
+    warehouse = SqliteWarehouse()
+    warehouse.load_fact(pos)
+    warehouse.define_summary_table(sid_definition(pos))
+    warehouse.define_summary_table(sic_definition(pos))
+    return warehouse
+
+
+def make_changes(pos, inserts=(), deletes=()):
+    changes = ChangeSet("pos", pos.table.schema)
+    changes.insert_many(inserts)
+    changes.delete_many(deletes)
+    return changes
+
+
+class TestSetup:
+    def test_views_materialised(self, sqlite_wh):
+        # 9 fact rows with two duplicated (storeID,itemID,date) groups.
+        assert len(sqlite_wh.rows("SID_sales")) == 7
+        assert len(sqlite_wh.rows("SiC_sales")) == 5
+
+    def test_initial_content_matches_engine(self, pos, sqlite_wh):
+        from repro.views import compute_rows
+
+        expected = compute_rows(sid_definition(pos).resolved()).sorted_rows()
+        assert sqlite_wh.sorted_rows("SID_sales") == expected
+
+    def test_unloaded_fact_rejected(self, pos):
+        warehouse = SqliteWarehouse()
+        with pytest.raises(MaintenanceError, match="not loaded"):
+            warehouse.define_summary_table(sid_definition(pos))
+
+
+class TestMaintenance:
+    def test_insert_update_delete(self, pos, sqlite_wh):
+        changes = make_changes(
+            pos,
+            inserts=[(1, 10, 1, 7, 1.0), (4, 13, 9, 2, 1.3)],
+            deletes=[(2, 12, 3, 5, 1.6)],
+        )
+        stats = sqlite_wh.maintain(changes)
+        sid = stats["SID_sales"]
+        assert (sid.inserted, sid.updated, sid.deleted) == (1, 1, 1)
+
+    def test_matches_recomputation_after_maintenance(self, pos, sqlite_wh):
+        changes = make_changes(
+            pos,
+            inserts=[(2, 13, 1, 3, 1.2)],
+            deletes=[(3, 10, 1, 6, 1.0)],  # triggers MIN recompute in SiC
+        )
+        stats = sqlite_wh.maintain(changes)
+        assert stats["SiC_sales"].recomputed >= 1
+        # Oracle: rematerialise a scratch copy from the updated base.
+        for name, summary in sqlite_wh.summaries.items():
+            maintained = sqlite_wh.sorted_rows(name)
+            sqlite_wh.rematerialize(summary)
+            assert sqlite_wh.sorted_rows(name) == maintained, name
+
+    def test_bag_deletion_removes_one_occurrence(self, pos, sqlite_wh):
+        # (4, 12, 2, 1, 1.5) appears twice in the fixture data.
+        changes = make_changes(pos, deletes=[(4, 12, 2, 1, 1.5)])
+        sqlite_wh.maintain(changes)
+        count = sqlite_wh.connection.execute(
+            "SELECT COUNT(*) FROM pos WHERE storeID=4 AND itemID=12"
+        ).fetchone()[0]
+        assert count == 1
+
+    def test_missing_deletion_raises(self, pos, sqlite_wh):
+        changes = make_changes(pos, deletes=[(9, 9, 9, 9, 9.0)])
+        sqlite_wh.load_changes(changes)
+        with pytest.raises(InconsistentDeltaError, match="matches no row"):
+            sqlite_wh.apply_changes_to_base("pos")
+
+    def test_empty_changes_touch_nothing(self, pos, sqlite_wh):
+        before = sqlite_wh.sorted_rows("SID_sales")
+        stats = sqlite_wh.maintain(make_changes(pos))
+        assert sqlite_wh.sorted_rows("SID_sales") == before
+        assert all(s.touched == 0 for s in stats.values())
+
+    def test_group_emptied_is_deleted(self, pos, sqlite_wh):
+        changes = make_changes(pos, deletes=[(2, 12, 3, 5, 1.6)])
+        sqlite_wh.maintain(changes)
+        rows = sqlite_wh.connection.execute(
+            "SELECT * FROM SID_sales WHERE storeID=2 AND itemID=12"
+        ).fetchall()
+        assert rows == []
+
+
+class TestCrossValidation:
+    """The decisive test: SQLite backend == in-memory engine, always."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_workloads_agree(self, seed):
+        from repro.lattice import maintain_lattice
+        from repro.workload import (
+            RetailConfig,
+            build_retail_warehouse,
+            generate_retail,
+            retail_view_definitions,
+            update_generating_changes,
+        )
+
+        data = generate_retail(RetailConfig(pos_rows=1500, seed=seed))
+        sqlite_wh = SqliteWarehouse()
+        sqlite_wh.load_fact(data.pos)
+        for definition in retail_view_definitions(data.pos):
+            sqlite_wh.define_summary_table(definition)
+
+        engine_wh = build_retail_warehouse(data)
+        views = engine_wh.views_over("pos")
+
+        changes = update_generating_changes(data.pos, data.config, 200, data.rng)
+        sqlite_wh.maintain(changes)
+        maintain_lattice(views, changes)
+
+        for view in views:
+            sqlite_rows = [tuple(r) for r in sqlite_wh.sorted_rows(view.name)]
+            assert sqlite_rows == view.table.sorted_rows(), view.name
+
+    def test_insertion_workload_agrees(self):
+        from repro.lattice import maintain_lattice
+        from repro.workload import (
+            RetailConfig,
+            build_retail_warehouse,
+            generate_retail,
+            insertion_generating_changes,
+            retail_view_definitions,
+        )
+
+        data = generate_retail(RetailConfig(pos_rows=1000, seed=9))
+        sqlite_wh = SqliteWarehouse()
+        sqlite_wh.load_fact(data.pos)
+        for definition in retail_view_definitions(data.pos):
+            sqlite_wh.define_summary_table(definition)
+        engine_wh = build_retail_warehouse(data)
+        views = engine_wh.views_over("pos")
+
+        changes = insertion_generating_changes(
+            data.pos, data.config, 200, data.rng
+        )
+        sqlite_wh.maintain(changes)
+        maintain_lattice(views, changes)
+        for view in views:
+            sqlite_rows = [tuple(r) for r in sqlite_wh.sorted_rows(view.name)]
+            assert sqlite_rows == view.table.sorted_rows(), view.name

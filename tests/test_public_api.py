@@ -1,0 +1,83 @@
+"""Public API surface: exports resolve, errors form one hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.errors import (
+    DefinitionError,
+    DerivationError,
+    ExpressionError,
+    InconsistentDeltaError,
+    LatticeError,
+    MaintenanceError,
+    ReproError,
+    SchemaError,
+    TableError,
+    UnsupportedAggregateError,
+    WorkloadError,
+)
+
+SUBPACKAGES = [
+    "repro.aggregates",
+    "repro.bench",
+    "repro.core",
+    "repro.io",
+    "repro.lattice",
+    "repro.query",
+    "repro.relational",
+    "repro.sqlite_backend",
+    "repro.views",
+    "repro.warehouse",
+    "repro.workload",
+]
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version_present(self):
+        assert repro.__version__
+
+    def test_all_is_sorted_for_readability(self):
+        body = [n for n in repro.__all__ if n != "__version__"]
+        assert body == sorted(body)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            DefinitionError,
+            DerivationError,
+            ExpressionError,
+            InconsistentDeltaError,
+            LatticeError,
+            MaintenanceError,
+            SchemaError,
+            TableError,
+            UnsupportedAggregateError,
+            WorkloadError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_specialisations(self):
+        assert issubclass(InconsistentDeltaError, MaintenanceError)
+        assert issubclass(DerivationError, LatticeError)
+        assert issubclass(UnsupportedAggregateError, DefinitionError)
+
+    def test_persistence_error_in_hierarchy(self):
+        from repro.io import PersistenceError
+
+        assert issubclass(PersistenceError, ReproError)

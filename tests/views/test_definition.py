@@ -1,0 +1,121 @@
+"""Summary-view definition validation and introspection."""
+
+import pytest
+
+from repro.aggregates import CountStar, Median, Min, Sum
+from repro.errors import DefinitionError, UnsupportedAggregateError
+from repro.relational import col, lit
+from repro.views import SummaryViewDefinition
+
+from ..conftest import sic_definition, sid_definition
+
+
+class TestValidation:
+    def test_valid_definition_passes(self, pos):
+        sid_definition(pos)
+
+    def test_unknown_group_by_rejected(self, pos):
+        with pytest.raises(DefinitionError, match="unknown group-by"):
+            SummaryViewDefinition.create(
+                "v", pos, ["ghost"], [("n", CountStar())]
+            )
+
+    def test_dimension_attribute_requires_join(self, pos):
+        with pytest.raises(DefinitionError, match="unknown group-by"):
+            SummaryViewDefinition.create(
+                "v", pos, ["category"], [("n", CountStar())]
+            )
+
+    def test_dimension_attribute_with_join_accepted(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["category"], [("n", CountStar())], dimensions=["items"]
+        )
+        assert definition.attribute_owner("category") == "items"
+
+    def test_unknown_dimension_rejected(self, pos):
+        with pytest.raises(Exception, match="no foreign key|no dimension"):
+            SummaryViewDefinition.create(
+                "v", pos, ["storeID"], [("n", CountStar())],
+                dimensions=["suppliers"],
+            )
+
+    def test_holistic_aggregate_rejected(self, pos):
+        with pytest.raises(UnsupportedAggregateError):
+            SummaryViewDefinition.create(
+                "v", pos, ["storeID"], [("m", Median(col("qty")))]
+            )
+
+    def test_aggregate_over_unknown_column_rejected(self, pos):
+        with pytest.raises(DefinitionError, match="unknown columns"):
+            SummaryViewDefinition.create(
+                "v", pos, ["storeID"], [("s", Sum(col("ghost")))]
+            )
+
+    def test_duplicate_output_names_rejected(self, pos):
+        with pytest.raises(DefinitionError, match="duplicate"):
+            SummaryViewDefinition.create(
+                "v", pos, ["storeID"],
+                [("x", CountStar()), ("x", Sum(col("qty")))],
+            )
+
+    def test_group_by_name_collision_rejected(self, pos):
+        with pytest.raises(DefinitionError, match="duplicate"):
+            SummaryViewDefinition.create(
+                "v", pos, ["storeID"], [("storeID", CountStar())]
+            )
+
+    def test_repeated_group_by_rejected(self, pos):
+        with pytest.raises(DefinitionError, match="repeats"):
+            SummaryViewDefinition.create(
+                "v", pos, ["storeID", "storeID"], [("n", CountStar())]
+            )
+
+    def test_view_without_aggregates_rejected(self, pos):
+        with pytest.raises(DefinitionError, match="no aggregates"):
+            SummaryViewDefinition.create("v", pos, ["storeID"], [])
+
+    def test_where_over_unknown_columns_rejected(self, pos):
+        with pytest.raises(DefinitionError, match="WHERE"):
+            SummaryViewDefinition.create(
+                "v", pos, ["storeID"], [("n", CountStar())],
+                where=col("ghost").gt(lit(0)),
+            )
+
+    def test_empty_name_rejected(self, pos):
+        with pytest.raises(DefinitionError):
+            SummaryViewDefinition.create("", pos, ["storeID"], [("n", CountStar())])
+
+
+class TestIntrospection:
+    def test_source_columns_dedup_fact_side_wins(self, pos):
+        definition = sic_definition(pos)
+        columns = definition.source_columns()
+        assert columns.count("itemID") == 1
+        assert "category" in columns
+
+    def test_attribute_owner_fact(self, pos):
+        assert sic_definition(pos).attribute_owner("storeID") == "fact"
+
+    def test_attribute_owner_unknown_raises(self, pos):
+        with pytest.raises(DefinitionError):
+            sic_definition(pos).attribute_owner("region")
+
+    def test_joined_dimensions(self, pos):
+        (dim,) = sic_definition(pos).joined_dimensions()
+        assert dim.name == "items"
+
+    def test_aggregate_by_name(self, pos):
+        output = sid_definition(pos).aggregate_by_name("TotalQuantity")
+        assert output.function == Sum(col("qty"))
+
+    def test_aggregate_by_name_missing_raises(self, pos):
+        with pytest.raises(DefinitionError):
+            sid_definition(pos).aggregate_by_name("nope")
+
+    def test_minmax_view_well_formed(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["region"],
+            [("n", CountStar()), ("first", Min(col("date")))],
+            dimensions=["stores"],
+        )
+        assert definition.group_by == ("region",)

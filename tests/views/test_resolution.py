@@ -1,0 +1,131 @@
+"""Self-maintainability augmentation (resolution): Sections 3.1 and 5.4."""
+
+import pytest
+
+from repro.aggregates import Avg, Count, CountStar, Max, Min, Sum
+from repro.relational import col
+from repro.views import SummaryViewDefinition
+
+from ..conftest import sid_definition
+
+
+def functions_of(definition):
+    return [output.function for output in definition.aggregates]
+
+
+class TestCountStarAugmentation:
+    def test_count_star_added_when_missing(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"], [("total", Sum(col("qty")))]
+        ).resolved()
+        assert CountStar() in functions_of(definition)
+
+    def test_existing_count_star_reused(self, pos):
+        definition = sid_definition(pos).resolved()
+        assert functions_of(definition).count(CountStar()) == 1
+
+    def test_synthetic_flag_set_on_added_columns(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"], [("total", Sum(col("qty")))]
+        ).resolved()
+        synthetic = [o for o in definition.aggregates if o.synthetic]
+        assert all(o.name.startswith("_") for o in synthetic)
+        assert len(synthetic) == 2  # COUNT(*) and COUNT(qty)
+
+
+class TestCountEAugmentation:
+    @pytest.mark.parametrize("function_type", [Sum, Min, Max])
+    def test_count_e_added_for_value_aggregates(self, pos, function_type):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"], [("x", function_type(col("qty")))]
+        ).resolved()
+        assert Count(col("qty")) in functions_of(definition)
+
+    def test_shared_argument_gets_single_count(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"],
+            [("lo", Min(col("qty"))), ("hi", Max(col("qty")))],
+        ).resolved()
+        assert functions_of(definition).count(Count(col("qty"))) == 1
+
+    def test_distinct_arguments_get_distinct_counts(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"],
+            [("q", Sum(col("qty"))), ("p", Sum(col("price")))],
+        ).resolved()
+        assert Count(col("qty")) in functions_of(definition)
+        assert Count(col("price")) in functions_of(definition)
+
+    def test_count_only_view_still_gets_count_star(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"], [("n", Count(col("qty")))]
+        ).resolved()
+        assert CountStar() in functions_of(definition)
+
+
+class TestAvgDecomposition:
+    def test_avg_replaced_by_sum_and_count(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"], [("AvgQty", Avg(col("qty")))]
+        ).resolved()
+        assert Sum(col("qty")) in functions_of(definition)
+        assert Count(col("qty")) in functions_of(definition)
+        assert not any(isinstance(f, Avg) for f in functions_of(definition))
+
+    def test_avg_derived_output_recorded(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"], [("AvgQty", Avg(col("qty")))]
+        ).resolved()
+        (derived,) = definition.derived
+        assert derived.name == "AvgQty"
+
+    def test_avg_reuses_existing_sum(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"],
+            [("TotalQty", Sum(col("qty"))), ("AvgQty", Avg(col("qty")))],
+        ).resolved()
+        assert functions_of(definition).count(Sum(col("qty"))) == 1
+        (derived,) = definition.derived
+        assert derived.numerator == "TotalQty"
+
+
+class TestResolutionProperties:
+    def test_is_resolved_detects_both_states(self, pos):
+        raw = sid_definition(pos)
+        assert not raw.is_resolved() or Sum(col("qty")) not in functions_of(raw)
+        resolved = raw.resolved()
+        assert resolved.is_resolved()
+
+    def test_resolution_is_idempotent(self, pos):
+        once = sid_definition(pos).resolved()
+        twice = once.resolved()
+        assert [o.name for o in once.aggregates] == [o.name for o in twice.aggregates]
+        assert functions_of(once) == functions_of(twice)
+
+    def test_user_columns_hide_synthetic(self, pos):
+        definition = sid_definition(pos).resolved()
+        user = definition.user_columns()
+        assert "TotalQuantity" in user
+        assert not any(column.startswith("_") for column in user)
+
+    def test_storage_schema_order(self, pos):
+        definition = sid_definition(pos).resolved()
+        columns = definition.storage_schema().columns
+        assert columns[:3] == ("storeID", "itemID", "date")
+
+    def test_count_star_column_lookup(self, pos):
+        definition = sid_definition(pos).resolved()
+        assert definition.count_star_column() == "TotalCount"
+
+    def test_count_column_for(self, pos):
+        definition = sid_definition(pos).resolved()
+        assert definition.count_column_for(col("qty")) == "_cnt_TotalQuantity"
+        assert definition.count_column_for(col("price")) is None
+
+    def test_fresh_names_avoid_collisions(self, pos):
+        definition = SummaryViewDefinition.create(
+            "v", pos, ["storeID"],
+            [("_count", Sum(col("qty")))],  # occupies the default name
+        ).resolved()
+        names = [output.name for output in definition.aggregates]
+        assert len(set(names)) == len(names)

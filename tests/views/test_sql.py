@@ -1,0 +1,79 @@
+"""SQL rendering against the paper's Figures 1, 3, and 6."""
+
+from repro.views import (
+    render_prepare_changes_sql,
+    render_prepare_sql,
+    render_summary_delta_sql,
+    render_view_sql,
+)
+
+from ..conftest import sic_definition, sid_definition
+
+
+class TestViewSql:
+    def test_sid_sales_matches_figure_1(self, pos):
+        sql = render_view_sql(sid_definition(pos))
+        assert sql == (
+            "CREATE VIEW SID_sales(storeID, itemID, date, TotalCount, "
+            "TotalQuantity) AS\n"
+            "SELECT storeID, itemID, date, COUNT(*) AS TotalCount, "
+            "SUM(qty) AS TotalQuantity\n"
+            "FROM pos\n"
+            "GROUP BY storeID, itemID, date"
+        )
+
+    def test_sic_sales_join_clause(self, pos):
+        sql = render_view_sql(sic_definition(pos))
+        assert "FROM pos, items" in sql
+        assert "WHERE pos.itemID = items.itemID" in sql
+        assert "MIN(date) AS EarliestSale" in sql
+        assert "GROUP BY storeID, category" in sql
+
+    def test_synthetic_columns_hidden_on_request(self, pos):
+        resolved = sic_definition(pos).resolved()
+        visible = render_view_sql(resolved, include_synthetic=False)
+        assert "_cnt_" not in visible
+        full = render_view_sql(resolved, include_synthetic=True)
+        assert "_cnt_" in full
+
+
+class TestPrepareSql:
+    def test_prepare_insertions_figure_6(self, pos):
+        sql = render_prepare_sql(sic_definition(pos), deletion=False)
+        assert sql.startswith("CREATE VIEW pi_SiC_sales(")
+        assert "1 AS _TotalCount" in sql
+        assert "date AS _EarliestSale" in sql
+        assert "qty AS _TotalQuantity" in sql
+        assert "FROM pos_ins, items" in sql
+        assert "WHERE pos_ins.itemID = items.itemID" in sql
+
+    def test_prepare_deletions_figure_6(self, pos):
+        sql = render_prepare_sql(sic_definition(pos), deletion=True)
+        assert sql.startswith("CREATE VIEW pd_SiC_sales(")
+        assert "-1 AS _TotalCount" in sql
+        assert "date AS _EarliestSale" in sql  # MIN keeps the raw value
+        assert "-qty AS _TotalQuantity" in sql
+        assert "FROM pos_del, items" in sql
+
+    def test_prepare_changes_union(self, pos):
+        sql = render_prepare_changes_sql(sic_definition(pos))
+        assert "pi_SiC_sales UNION ALL pd_SiC_sales" in sql
+
+
+class TestSummaryDeltaSql:
+    def test_sd_columns_prefixed(self, pos):
+        sql = render_summary_delta_sql(sid_definition(pos))
+        assert "sd_TotalCount" in sql and "sd_TotalQuantity" in sql
+        assert sql.startswith("CREATE VIEW sd_SID_sales(")
+
+    def test_count_becomes_sum(self, pos):
+        sql = render_summary_delta_sql(sid_definition(pos))
+        assert "SUM(_TotalCount) AS sd_TotalCount" in sql
+
+    def test_min_stays_min(self, pos):
+        sql = render_summary_delta_sql(sic_definition(pos))
+        assert "MIN(_EarliestSale) AS sd_EarliestSale" in sql
+
+    def test_group_by_matches_view(self, pos):
+        sql = render_summary_delta_sql(sic_definition(pos))
+        assert sql.endswith("GROUP BY storeID, category")

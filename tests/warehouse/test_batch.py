@@ -1,0 +1,66 @@
+"""Batch-window clock and report arithmetic."""
+
+import pytest
+
+from repro.warehouse import BatchReport, BatchWindowClock
+from repro.warehouse.batch import Phase
+
+
+class TestClock:
+    def test_online_phase_recorded(self):
+        clock = BatchWindowClock()
+        with clock.online("propagate"):
+            pass
+        (phase,) = clock.report.phases
+        assert phase.name == "propagate" and not phase.offline
+        assert phase.seconds >= 0
+
+    def test_offline_phase_recorded(self):
+        clock = BatchWindowClock()
+        with clock.offline("refresh"):
+            pass
+        assert clock.report.phases[0].offline
+
+    def test_phase_recorded_even_on_exception(self):
+        clock = BatchWindowClock()
+        with pytest.raises(ValueError):
+            with clock.offline("boom"):
+                raise ValueError
+        assert len(clock.report.phases) == 1
+
+    def test_multiple_phases_accumulate(self):
+        clock = BatchWindowClock()
+        with clock.online("a"):
+            pass
+        with clock.offline("b"):
+            pass
+        with clock.offline("b"):
+            pass
+        assert len(clock.report.phases) == 3
+
+
+class TestReport:
+    def make_report(self):
+        return BatchReport(
+            phases=[
+                Phase("propagate", 1.0, offline=False),
+                Phase("refresh", 0.25, offline=True),
+                Phase("refresh", 0.25, offline=True),
+            ]
+        )
+
+    def test_online_offline_split(self):
+        report = self.make_report()
+        assert report.online_seconds == 1.0
+        assert report.offline_seconds == 0.5
+        assert report.total_seconds == 1.5
+
+    def test_seconds_for(self):
+        assert self.make_report().seconds_for("refresh") == 0.5
+
+    def test_merge(self):
+        merged = self.make_report().merge(self.make_report())
+        assert merged.total_seconds == 3.0
+
+    def test_summary_mentions_batch_window(self):
+        assert "batch window" in self.make_report().summary()

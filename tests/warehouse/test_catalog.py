@@ -1,0 +1,97 @@
+"""The warehouse catalog: registration and deferred-change plumbing."""
+
+import pytest
+
+from repro.errors import DefinitionError, TableError
+from repro.warehouse import Warehouse
+
+from ..conftest import make_items, make_pos, make_stores, sid_definition
+
+
+class TestRegistration:
+    def test_add_fact_registers_dimensions(self, warehouse):
+        assert set(warehouse.dimensions) == {"stores", "items"}
+
+    def test_duplicate_fact_rejected(self, warehouse, pos):
+        with pytest.raises(TableError, match="already registered"):
+            warehouse.add_fact(pos)
+
+    def test_duplicate_dimension_rejected(self, warehouse, stores):
+        with pytest.raises(TableError):
+            warehouse.add_dimension(stores)
+
+    def test_define_summary_table_materialises(self, warehouse, pos):
+        view = warehouse.define_summary_table(sid_definition(pos))
+        assert len(view.table) > 0
+        assert warehouse.view("SID_sales") is view
+
+    def test_duplicate_view_rejected(self, warehouse, pos):
+        warehouse.define_summary_table(sid_definition(pos))
+        with pytest.raises(DefinitionError, match="already defined"):
+            warehouse.define_summary_table(sid_definition(pos))
+
+    def test_view_over_unregistered_fact_rejected(self):
+        warehouse = Warehouse()
+        pos = make_pos(make_stores(), make_items())
+        with pytest.raises(DefinitionError, match="unregistered fact"):
+            warehouse.define_summary_table(sid_definition(pos))
+
+    def test_unknown_view_lookup_raises(self, warehouse):
+        with pytest.raises(DefinitionError):
+            warehouse.view("ghost")
+
+    def test_views_over(self, warehouse, pos):
+        warehouse.define_summary_table(sid_definition(pos))
+        assert [view.name for view in warehouse.views_over("pos")] == ["SID_sales"]
+        assert warehouse.views_over("other") == []
+
+
+class TestPendingChanges:
+    def test_change_set_created_on_demand(self, warehouse):
+        changes = warehouse.pending_changes("pos")
+        assert changes.is_empty()
+        assert warehouse.pending_changes("pos") is changes
+
+    def test_unknown_fact_rejected(self, warehouse):
+        with pytest.raises(TableError):
+            warehouse.pending_changes("ghost")
+
+    def test_stage_and_apply(self, warehouse, pos):
+        before = len(pos.table)
+        warehouse.stage_insertions("pos", [(1, 10, 7, 1, 1.0)])
+        warehouse.stage_deletions("pos", [(2, 12, 3, 5, 1.6)])
+        warehouse.apply_pending_to_base("pos")
+        assert len(pos.table) == before  # +1 −1
+        # Change set still available for view maintenance afterwards.
+        assert warehouse.pending_changes("pos").size() == 2
+        warehouse.discard_pending("pos")
+        assert warehouse.pending_changes("pos").is_empty()
+
+    def test_repr(self, warehouse):
+        text = repr(warehouse)
+        assert "1 facts" in text and "2 dimensions" in text
+
+
+class TestVerifyViews:
+    def test_fresh_views_verify(self, warehouse, pos):
+        warehouse.define_summary_table(sid_definition(pos))
+        assert warehouse.verify_views() == {"SID_sales": True}
+        warehouse.assert_views_consistent()
+
+    def test_stale_view_detected(self, warehouse, pos):
+        from repro.errors import MaintenanceError
+
+        view = warehouse.define_summary_table(sid_definition(pos))
+        pos.table.insert((1, 10, 9, 1, 1.0))  # base changed, view not
+        assert warehouse.verify_views() == {"SID_sales": False}
+        with pytest.raises(MaintenanceError, match="does not match"):
+            warehouse.assert_views_consistent()
+
+    def test_view_consistent_again_after_maintenance(self, warehouse, pos):
+        from repro.core import maintain_view
+
+        view = warehouse.define_summary_table(sid_definition(pos))
+        changes = warehouse.pending_changes("pos")
+        changes.insert((1, 10, 9, 1, 1.0))
+        maintain_view(view, changes)
+        warehouse.assert_views_consistent()

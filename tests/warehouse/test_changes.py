@@ -1,0 +1,89 @@
+"""Deferred change sets and their bulk application."""
+
+import pytest
+
+from repro.errors import InconsistentDeltaError, TableError
+from repro.relational import Table
+from repro.warehouse import ChangeSet
+
+
+@pytest.fixture
+def base():
+    return Table("t", ["a", "b"], [(1, "x"), (1, "x"), (2, "y")])
+
+
+@pytest.fixture
+def changes(base):
+    return ChangeSet("t", base.schema)
+
+
+class TestAccumulation:
+    def test_tables_named_after_base(self, changes):
+        assert changes.insertions.name == "t_ins"
+        assert changes.deletions.name == "t_del"
+
+    def test_size_counts_both_sides(self, changes):
+        changes.insert((3, "z"))
+        changes.delete((1, "x"))
+        assert changes.size() == 2
+        assert not changes.is_empty()
+
+    def test_clear(self, changes):
+        changes.insert((3, "z"))
+        changes.clear()
+        assert changes.is_empty()
+
+    def test_insert_many_and_delete_many(self, changes):
+        assert changes.insert_many([(3, "z"), (4, "w")]) == 2
+        assert changes.delete_many([(1, "x")]) == 1
+
+
+class TestApply:
+    def test_insertions_appended(self, base, changes):
+        changes.insert((3, "z"))
+        changes.apply_to(base)
+        assert (3, "z") in base.rows()
+        assert len(base) == 4
+
+    def test_deletion_removes_one_occurrence(self, base, changes):
+        changes.delete((1, "x"))
+        changes.apply_to(base)
+        assert base.rows().count((1, "x")) == 1
+
+    def test_deleting_both_occurrences(self, base, changes):
+        changes.delete((1, "x"))
+        changes.delete((1, "x"))
+        changes.apply_to(base)
+        assert base.rows().count((1, "x")) == 0
+
+    def test_missing_deletion_raises(self, base, changes):
+        changes.delete((9, "q"))
+        with pytest.raises(InconsistentDeltaError, match="match no row"):
+            changes.apply_to(base)
+
+    def test_overdeleting_raises(self, base, changes):
+        for _ in range(3):
+            changes.delete((1, "x"))
+        with pytest.raises(InconsistentDeltaError):
+            changes.apply_to(base)
+
+    def test_schema_mismatch_raises(self, changes):
+        other = Table("u", ["a"], [])
+        with pytest.raises(TableError, match="schema"):
+            changes.apply_to(other)
+
+    def test_apply_preserves_indexes(self, base, changes):
+        index = base.create_index(["a"])
+        changes.delete((2, "y"))
+        changes.insert((2, "w"))
+        changes.apply_to(base)
+        assert len(index.lookup((2,))) == 1
+        (slot,) = index.lookup((2,))
+        assert base.row_at(slot) == (2, "w")
+
+    def test_simultaneous_insert_and_delete_of_same_row(self, base, changes):
+        # Deletions apply first, then insertions: net multiplicity unchanged.
+        changes.delete((1, "x"))
+        changes.insert((1, "x"))
+        changes.apply_to(base)
+        assert base.rows().count((1, "x")) == 2

@@ -1,0 +1,104 @@
+"""Dimension tables and hierarchies."""
+
+import pytest
+
+from repro.errors import SchemaError, TableError
+from repro.warehouse import DimensionHierarchy, DimensionTable
+
+
+@pytest.fixture
+def hierarchy():
+    return DimensionHierarchy("stores", ["storeID", "city", "region"])
+
+
+class TestHierarchy:
+    def test_key_is_finest_level(self, hierarchy):
+        assert hierarchy.key == "storeID"
+
+    def test_determines(self, hierarchy):
+        assert hierarchy.determines("storeID") == ("city", "region")
+        assert hierarchy.determines("city") == ("region",)
+        assert hierarchy.determines("region") == ()
+
+    def test_determines_transitively(self, hierarchy):
+        assert hierarchy.determines_transitively("storeID", "region")
+        assert hierarchy.determines_transitively("city", "city")
+        assert not hierarchy.determines_transitively("region", "city")
+        assert not hierarchy.determines_transitively("storeID", "elsewhere")
+
+    def test_depth_of(self, hierarchy):
+        assert hierarchy.depth_of("city") == 1
+
+    def test_depth_of_unknown_raises(self, hierarchy):
+        with pytest.raises(SchemaError):
+            hierarchy.depth_of("nope")
+
+    def test_grouping_choices(self, hierarchy):
+        assert hierarchy.grouping_choices() == (
+            ("storeID",), ("city",), ("region",), (),
+        )
+
+    def test_contains(self, hierarchy):
+        assert "city" in hierarchy
+        assert "qty" not in hierarchy
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionHierarchy("h", ["a", "a"])
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(SchemaError):
+            DimensionHierarchy("h", [])
+
+
+class TestDimensionTable:
+    def test_key_defaults_to_first_column(self, stores):
+        assert stores.key == "storeID"
+
+    def test_key_index_is_unique(self, stores):
+        index = stores.table.index_on(["storeID"])
+        assert index is not None and index.unique
+
+    def test_lookup(self, stores):
+        assert stores.lookup(1) == (1, "sf", "west")
+        assert stores.lookup(99) is None
+
+    def test_attributes_excludes_key(self, items):
+        assert items.attributes() == ("name", "category", "cost")
+
+    def test_trivial_hierarchy_when_omitted(self):
+        dim = DimensionTable("d", ["k", "x"], [(1, "a")])
+        assert dim.hierarchy.levels == ("k",)
+
+    def test_hierarchy_must_start_at_key(self):
+        with pytest.raises(SchemaError, match="must start at the key"):
+            DimensionTable(
+                "d",
+                ["k", "x"],
+                hierarchy=DimensionHierarchy("d", ["x"]),
+            )
+
+    def test_hierarchy_levels_must_be_columns(self):
+        with pytest.raises(SchemaError):
+            DimensionTable(
+                "d",
+                ["k"],
+                hierarchy=DimensionHierarchy("d", ["k", "ghost"]),
+            )
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(TableError, match="unique"):
+            DimensionTable("d", ["k", "x"], [(1, "a"), (1, "b")])
+
+    def test_validate_hierarchy_accepts_valid_data(self, stores):
+        stores.validate_hierarchy()
+
+    def test_validate_hierarchy_detects_fd_violation(self):
+        dim = DimensionTable(
+            "d",
+            ["k", "city", "region"],
+            [(1, "sf", "west"), (2, "sf", "east")],
+            hierarchy=DimensionHierarchy("d", ["k", "city", "region"]),
+        )
+        with pytest.raises(TableError, match="FD city -> region violated"):
+            dim.validate_hierarchy()

@@ -1,0 +1,71 @@
+"""Fact tables, foreign keys, and dimension joins."""
+
+import pytest
+
+from repro.errors import SchemaError, TableError
+from repro.relational import Table
+from repro.warehouse import FactTable, ForeignKey
+
+
+class TestDeclaration:
+    def test_columns(self, pos):
+        assert pos.columns == ("storeID", "itemID", "date", "qty", "price")
+
+    def test_dimension_lookup(self, pos):
+        assert pos.dimension("stores").name == "stores"
+
+    def test_unknown_dimension_raises(self, pos):
+        with pytest.raises(TableError):
+            pos.dimension("suppliers")
+
+    def test_foreign_key_for(self, pos):
+        fk = pos.foreign_key_for("items")
+        assert fk.column == "itemID"
+
+    def test_fk_column_must_exist(self, stores):
+        with pytest.raises(SchemaError, match="foreign key column"):
+            FactTable("f", ["a"], [ForeignKey("missing", stores)])
+
+    def test_duplicate_dimension_rejected(self, stores):
+        with pytest.raises(SchemaError, match="twice"):
+            FactTable(
+                "f",
+                ["a", "b"],
+                [ForeignKey("a", stores), ForeignKey("b", stores)],
+            )
+
+
+class TestJoins:
+    def test_join_single_dimension(self, pos):
+        joined = pos.join_dimensions(pos.table, ["stores"])
+        assert "city" in joined.schema
+        assert len(joined) == len(pos.table)
+
+    def test_join_both_dimensions(self, pos):
+        joined = pos.join_dimensions(pos.table, ["stores", "items"])
+        assert "region" in joined.schema and "category" in joined.schema
+        assert len(joined) == len(pos.table)
+
+    def test_join_applies_to_change_shaped_tables(self, pos):
+        changes = Table("pos_ins", pos.table.schema, [(1, 10, 9, 1, 1.0)])
+        joined = pos.join_dimensions(changes, ["items"])
+        assert joined.rows()[0][-4:] == (10, "apple", "fruit", 1.0)
+
+    def test_join_empty_dimension_list_is_identity(self, pos):
+        joined = pos.join_dimensions(pos.table, [])
+        assert joined is pos.table
+
+
+class TestValidation:
+    def test_valid_foreign_keys_pass(self, pos):
+        pos.validate_foreign_keys()
+
+    def test_dangling_reference_detected(self, stores, items):
+        fact = FactTable(
+            "f",
+            ["storeID", "qty"],
+            [ForeignKey("storeID", stores)],
+            [(999, 1)],
+        )
+        with pytest.raises(TableError, match="no match"):
+            fact.validate_foreign_keys()

@@ -1,0 +1,102 @@
+"""The warehouse-wide nightly maintenance driver."""
+
+import pytest
+
+from repro.errors import MaintenanceError
+from repro.warehouse import Warehouse, run_nightly_maintenance
+
+from ..conftest import (
+    make_items,
+    make_pos,
+    make_stores,
+    sic_definition,
+    sid_definition,
+)
+
+
+@pytest.fixture
+def loaded_warehouse():
+    stores, items = make_stores(), make_items()
+    pos = make_pos(stores, items)
+    warehouse = Warehouse()
+    warehouse.add_fact(pos)
+    warehouse.define_summary_table(sid_definition(pos))
+    warehouse.define_summary_table(sic_definition(pos))
+    return warehouse, pos
+
+
+class TestNightlyRun:
+    def test_maintains_and_clears_pending(self, loaded_warehouse):
+        warehouse, pos = loaded_warehouse
+        warehouse.stage_insertions("pos", [(1, 10, 9, 2, 1.0)])
+        warehouse.stage_deletions("pos", [(2, 12, 3, 5, 1.6)])
+        result = run_nightly_maintenance(warehouse, verify=True)
+        assert result.facts_maintained == ["pos"]
+        assert result.views_maintained == 2
+        assert warehouse.pending_changes("pos").is_empty()
+
+    def test_no_changes_is_a_noop(self, loaded_warehouse):
+        warehouse, pos = loaded_warehouse
+        result = run_nightly_maintenance(warehouse)
+        assert result.facts_maintained == []
+        assert result.report.total_seconds == 0
+
+    def test_two_fact_tables_maintained_independently(self):
+        stores, items = make_stores(), make_items()
+        pos = make_pos(stores, items)
+        returns = make_pos(make_stores(), make_items())
+        returns.name = returns.table.name = "returns"
+
+        warehouse = Warehouse()
+        warehouse.add_fact(pos)
+        # The second fact has its own dimension instances under the same
+        # names; register just the fact to avoid duplicate dimensions.
+        warehouse.facts["returns"] = returns
+        warehouse.define_summary_table(sid_definition(pos))
+        returns_def = sid_definition(returns)
+        returns_view = warehouse.define_summary_table(
+            type(returns_def)(
+                name="RID_returns",
+                fact=returns,
+                group_by=returns_def.group_by,
+                aggregates=returns_def.aggregates,
+                dimensions=returns_def.dimensions,
+            )
+        )
+        warehouse.stage_insertions("pos", [(1, 10, 9, 2, 1.0)])
+        warehouse.stage_insertions("returns", [(3, 13, 8, 1, 1.3)])
+        result = run_nightly_maintenance(warehouse, verify=True)
+        assert result.facts_maintained == ["pos", "returns"]
+        assert len(returns_view.table) > 0
+
+    def test_fact_without_views_still_gets_base_update(self, loaded_warehouse):
+        warehouse, pos = loaded_warehouse
+        orders = make_pos(make_stores(), make_items())
+        orders.name = orders.table.name = "orders"
+        warehouse.facts["orders"] = orders
+        before = len(orders.table)
+        warehouse.stage_insertions("orders", [(1, 10, 9, 2, 1.0)])
+        result = run_nightly_maintenance(warehouse)
+        assert len(orders.table) == before + 1
+        assert "orders" not in result.per_fact  # no views, base-only
+
+    def test_verify_failure_raises(self, loaded_warehouse):
+        warehouse, pos = loaded_warehouse
+        # Corrupt a view behind the driver's back, then run with verify.
+        warehouse.view("SID_sales").table.truncate()
+        warehouse.stage_insertions("pos", [(1, 10, 9, 2, 1.0)])
+        with pytest.raises(MaintenanceError, match="verification failed"):
+            run_nightly_maintenance(warehouse, verify=True)
+
+    def test_kwargs_forwarded(self, loaded_warehouse):
+        from repro.core import MinMaxPolicy, PropagateOptions
+
+        warehouse, pos = loaded_warehouse
+        warehouse.stage_insertions("pos", [(1, 10, 9, 2, 1.0)])
+        result = run_nightly_maintenance(
+            warehouse,
+            options=PropagateOptions(policy=MinMaxPolicy.SPLIT),
+            use_lattice=False,
+        )
+        assert result.views_maintained == 2
+        warehouse.assert_views_consistent()

@@ -1,0 +1,65 @@
+"""Synthetic retail data generation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import RetailConfig, generate_retail
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_retail(RetailConfig(pos_rows=3000, seed=99))
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        RetailConfig().validate()
+
+    def test_region_city_order_enforced(self):
+        with pytest.raises(WorkloadError):
+            RetailConfig(n_regions=50, n_cities=10).validate()
+
+    def test_category_count_enforced(self):
+        with pytest.raises(WorkloadError):
+            RetailConfig(n_categories=500, n_items=10).validate()
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(WorkloadError):
+            RetailConfig(pos_rows=-1).validate()
+
+
+class TestGeneratedData:
+    def test_sizes(self, data):
+        assert len(data.stores.table) == data.config.n_stores
+        assert len(data.items.table) == data.config.n_items
+        assert len(data.pos.table) == 3000
+
+    def test_hierarchies_valid(self, data):
+        data.stores.validate_hierarchy()
+        data.items.validate_hierarchy()
+
+    def test_foreign_keys_valid(self, data):
+        data.pos.validate_foreign_keys()
+
+    def test_dates_within_domain(self, data):
+        dates = set(data.pos.table.column_values("date"))
+        assert min(dates) >= 1 and max(dates) <= data.config.n_dates
+
+    def test_fact_index_present(self, data):
+        assert data.pos.table.index_on(["storeID", "itemID", "date"]) is not None
+
+    def test_deterministic_given_seed(self):
+        first = generate_retail(RetailConfig(pos_rows=200, seed=5))
+        second = generate_retail(RetailConfig(pos_rows=200, seed=5))
+        assert first.pos.table.rows() == second.pos.table.rows()
+
+    def test_different_seeds_differ(self):
+        first = generate_retail(RetailConfig(pos_rows=200, seed=5))
+        second = generate_retail(RetailConfig(pos_rows=200, seed=6))
+        assert first.pos.table.rows() != second.pos.table.rows()
+
+    def test_cardinalities_cover_domains(self, data):
+        regions = set(data.stores.table.column_values("region"))
+        assert len(regions) == data.config.n_regions
+        categories = set(data.items.table.column_values("category"))
+        assert len(categories) == data.config.n_categories

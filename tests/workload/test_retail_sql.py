@@ -1,0 +1,74 @@
+"""The Figure 1 view set: definitions and rendered SQL."""
+
+import pytest
+
+from repro.views import render_view_sql
+from repro.workload import (
+    RetailConfig,
+    build_retail_warehouse,
+    generate_retail,
+    retail_view_definitions,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_retail(RetailConfig(pos_rows=1000, seed=55))
+
+
+class TestDefinitions:
+    def test_four_views_in_paper_order(self, data):
+        names = [d.name for d in retail_view_definitions(data.pos)]
+        assert names == ["SID_sales", "sCD_sales", "SiC_sales", "sR_sales"]
+
+    def test_figure1_sid_sql(self, data):
+        (sid, _scd, _sic, _sr) = retail_view_definitions(data.pos)
+        sql = render_view_sql(sid)
+        assert "COUNT(*) AS TotalCount" in sql
+        assert "SUM(qty) AS TotalQuantity" in sql
+        assert "GROUP BY storeID, itemID, date" in sql
+
+    def test_figure1_sic_sql(self, data):
+        (_sid, _scd, sic, _sr) = retail_view_definitions(data.pos)
+        sql = render_view_sql(sic)
+        assert "MIN(date) AS EarliestSale" in sql
+        assert "WHERE pos.itemID = items.itemID" in sql
+
+    def test_figure1_sr_sql(self, data):
+        (_sid, _scd, _sic, sr) = retail_view_definitions(data.pos)
+        sql = render_view_sql(sr)
+        assert "GROUP BY region" in sql
+        assert "WHERE pos.storeID = stores.storeID" in sql
+
+    def test_non_lattice_friendly_scd_matches_figure1(self, data):
+        (_sid, scd, _sic, _sr) = retail_view_definitions(
+            data.pos, lattice_friendly=False
+        )
+        assert scd.group_by == ("city", "date")
+
+    def test_lattice_friendly_scd_carries_region(self, data):
+        (_sid, scd, _sic, _sr) = retail_view_definitions(data.pos)
+        assert scd.group_by == ("city", "region", "date")
+
+
+class TestWarehouseBuild:
+    def test_all_views_materialised(self, data):
+        warehouse = build_retail_warehouse(data)
+        assert set(warehouse.views) == {
+            "SID_sales", "sCD_sales", "SiC_sales", "sR_sales",
+        }
+        for view in warehouse.views.values():
+            assert len(view.table) > 0
+
+    def test_view_sizes_ordered_by_granularity(self, data):
+        warehouse = build_retail_warehouse(data)
+        assert len(warehouse.view("SID_sales").table) >= len(
+            warehouse.view("SiC_sales").table
+        )
+        assert len(warehouse.view("sCD_sales").table) >= len(
+            warehouse.view("sR_sales").table
+        )
+
+    def test_region_view_has_all_regions(self, data):
+        warehouse = build_retail_warehouse(data)
+        assert len(warehouse.view("sR_sales").table) == data.config.n_regions

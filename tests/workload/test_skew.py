@@ -1,0 +1,66 @@
+"""Zipf-skewed workload generation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import RetailConfig, generate_retail
+from repro.workload.generator import sample_identifier
+
+
+class TestSampleIdentifier:
+    def test_uniform_when_skew_zero(self):
+        rng = random.Random(1)
+        counts = Counter(sample_identifier(rng, 10, 0.0) for _ in range(5000))
+        assert set(counts) == set(range(1, 11))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_skew_favours_low_ids(self):
+        rng = random.Random(2)
+        counts = Counter(sample_identifier(rng, 50, 1.2) for _ in range(5000))
+        assert counts[1] > counts.get(50, 0) * 3
+        top_share = sum(counts[i] for i in range(1, 6)) / 5000
+        assert top_share > 0.35  # a handful of ids dominate
+
+    def test_all_ids_in_range(self):
+        rng = random.Random(3)
+        for _ in range(500):
+            assert 1 <= sample_identifier(rng, 7, 2.0) <= 7
+
+
+class TestSkewedRetail:
+    def test_negative_skew_rejected(self):
+        with pytest.raises(WorkloadError, match="skew"):
+            RetailConfig(skew=-1.0).validate()
+
+    def test_skewed_generation_is_deterministic(self):
+        first = generate_retail(RetailConfig(pos_rows=500, seed=4, skew=1.0))
+        second = generate_retail(RetailConfig(pos_rows=500, seed=4, skew=1.0))
+        assert first.pos.table.rows() == second.pos.table.rows()
+
+    def test_skew_concentrates_store_traffic(self):
+        uniform = generate_retail(RetailConfig(pos_rows=5000, seed=5, skew=0.0))
+        skewed = generate_retail(RetailConfig(pos_rows=5000, seed=5, skew=1.2))
+
+        def top_store_share(data):
+            counts = Counter(data.pos.table.column_values("storeID"))
+            return counts.most_common(1)[0][1] / len(data.pos.table)
+
+        assert top_store_share(skewed) > 3 * top_store_share(uniform)
+
+    def test_skewed_warehouse_maintains_correctly(self):
+        from repro.lattice import maintain_lattice
+        from repro.views import compute_rows
+        from repro.workload import build_retail_warehouse, update_generating_changes
+
+        data = generate_retail(RetailConfig(pos_rows=2000, seed=6, skew=1.0))
+        warehouse = build_retail_warehouse(data)
+        views = warehouse.views_over("pos")
+        changes = update_generating_changes(data.pos, data.config, 200, data.rng)
+        maintain_lattice(views, changes)
+        for view in views:
+            assert view.table.sorted_rows() == compute_rows(
+                view.definition
+            ).sorted_rows()
