@@ -3,6 +3,9 @@
 Every Figure 9 panel's series table and shape-claim report is printed to
 stdout (``-s`` is set in ``pytest.ini``) and saved under
 ``benchmarks/results/`` so EXPERIMENTS.md can reference a stable artifact.
+Panels are additionally merged, as machine-readable data, into
+``BENCH_propagate.json`` at the repo root alongside the propagate
+micro-benchmark — one file seeding the cross-PR perf trajectory.
 """
 
 from __future__ import annotations
@@ -30,5 +33,16 @@ def save_result():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         return path
+
+    return save
+
+
+@pytest.fixture(scope="session")
+def save_panel_json():
+    """Merge a panel's series into BENCH_propagate.json (repo root)."""
+    from repro.bench.reporting import panel_payload, write_bench_json
+
+    def save(key: str, panel) -> pathlib.Path:
+        return write_bench_json("figure9", {key: panel_payload(panel)})
 
     return save

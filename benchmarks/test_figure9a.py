@@ -15,7 +15,7 @@ from repro.bench import (
 )
 
 
-def test_figure9a(benchmark, results_store, save_result):
+def test_figure9a(benchmark, results_store, save_result, save_panel_json):
     panel = benchmark.pedantic(
         lambda: run_panel("a"), rounds=1, iterations=1, warmup_rounds=0
     )
@@ -29,6 +29,7 @@ def test_figure9a(benchmark, results_store, save_result):
     report = format_panel(panel) + "\n\n" + format_claims(claims)
     print("\n" + report)
     save_result("figure9a", report)
+    save_panel_json("a", panel)
 
     # The paper's headline result must reproduce unconditionally.
     assert claims[0].holds, claims[0].evidence

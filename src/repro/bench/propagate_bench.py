@@ -1,0 +1,257 @@
+"""Micro-benchmark for the parallel propagate engine (§4.1.2).
+
+Measures the three rungs of the engine on a pos-shaped aggregation — the
+exact hot loop of summary-delta computation:
+
+* **serial** — the seed path: interpreted ``group_by`` with per-row closure
+  dispatch (``compiled=False`` forces it);
+* **compiled** — the same call through the codegen fast path
+  (:mod:`repro.relational.codegen`);
+* **parallel** — ``group_by_chunked`` with compiled chunk folds on an
+  executor backend, partial states merged via ``Reducer.merge``.
+
+A second section times :func:`~repro.lattice.plan.propagate_lattice` over
+the Figure 9 retail lattice, serial walk vs level-parallel scheduling, and
+cross-checks that the deltas are identical.
+
+Results are printed and merged into ``BENCH_propagate.json`` at the repo
+root (see :func:`repro.bench.reporting.write_bench_json`), seeding the
+machine-readable perf trajectory.
+
+Run as::
+
+    PYTHONPATH=src python -m repro.bench.propagate_bench [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import random
+import time
+from typing import Callable, Sequence
+
+from ..core.propagate import PropagateOptions
+from ..lattice.plan import build_lattice_for_views, propagate_lattice
+from ..relational.aggregation import (
+    AggregateSpec,
+    MaxReducer,
+    MinReducer,
+    SumReducer,
+    group_by,
+    group_by_chunked,
+)
+from ..relational.expressions import col, lit
+from ..relational.table import Table
+from ..views.materialize import MaterializedView
+from ..workload.changes import update_generating_changes
+from ..workload.generator import RetailConfig, generate_retail
+from ..workload.retail import retail_view_definitions
+from .reporting import write_bench_json
+
+#: Group keys and workload shape mirror the pos fact table and its
+#: summary-delta aggregation (SUM/COUNT deltas plus MIN/MAX companions).
+#: storeID x date gives ~80 input rows per group at the default scale,
+#: matching the store/date-grained retail summary views.
+MICRO_KEYS = ("storeID", "date")
+DEFAULT_ROWS = 200_000
+DEFAULT_REPEATS = 3
+
+
+def build_pos_shaped_table(rows: int, seed: int = 97) -> Table:
+    """A synthetic pos-shaped table: uniform store/item/date, nullable
+    qty/price (aggregation must exercise the null-skipping branches)."""
+    rng = random.Random(seed)
+    data = []
+    for _ in range(rows):
+        qty = None if rng.random() < 0.03 else rng.randint(1, 10)
+        price = None if rng.random() < 0.03 else round(rng.uniform(0.5, 99.5), 2)
+        data.append(
+            (rng.randrange(100), rng.randrange(200), rng.randrange(25), qty, price)
+        )
+    return Table("pos_bench", ["storeID", "itemID", "date", "qty", "price"], data)
+
+
+def delta_style_specs() -> list[AggregateSpec]:
+    """Aggregates shaped like a summary-delta computation: COUNT(*) and SUM
+    deltas (SumReducer over the Table 1 sources) plus MIN/MAX companions."""
+    return [
+        ("_count", lit(1), SumReducer()),
+        ("total_qty", col("qty"), SumReducer()),
+        ("total_dollars", col("qty") * col("price"), SumReducer()),
+        ("min_price", col("price"), MinReducer()),
+        ("max_price", col("price"), MaxReducer()),
+    ]
+
+
+def _rows_equivalent(expected, actual) -> bool:
+    """Row-set equality, tolerating last-ulp drift in float aggregates."""
+    if len(expected) != len(actual):
+        return False
+    for row_a, row_b in zip(expected, actual):
+        for a, b in zip(row_a, row_b):
+            if a == b:
+                continue
+            if isinstance(a, float) and isinstance(b, float):
+                if math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9):
+                    continue
+            return False
+    return True
+
+
+def _best_of(thunk: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_micro(
+    rows: int = DEFAULT_ROWS,
+    chunks: int | None = None,
+    backend: str = "thread",
+    repeats: int = DEFAULT_REPEATS,
+) -> dict:
+    """Time serial / compiled / parallel aggregation on *rows* input rows."""
+    chunks = chunks or (os.cpu_count() or 4)
+    table = build_pos_shaped_table(rows)
+    specs = delta_style_specs()
+    keys = list(MICRO_KEYS)
+
+    serial = group_by(table, keys, specs, compiled=False)
+    compiled = group_by(table, keys, specs, compiled=True)
+    parallel = group_by_chunked(table, keys, specs, chunks=chunks, backend=backend)
+    if serial.rows() != compiled.rows():
+        raise AssertionError(
+            "propagate engine paths disagree: compiled output does not "
+            "match the serial group_by"
+        )
+    # Chunked float SUMs associate across chunk boundaries, so they can
+    # differ from the serial fold in the last ulp; everything else is exact.
+    if not _rows_equivalent(serial.rows(), parallel.rows()):
+        raise AssertionError(
+            "propagate engine paths disagree: parallel chunked output does "
+            "not match the serial group_by"
+        )
+
+    serial_s = _best_of(lambda: group_by(table, keys, specs, compiled=False), repeats)
+    compiled_s = _best_of(lambda: group_by(table, keys, specs, compiled=True), repeats)
+    parallel_s = _best_of(
+        lambda: group_by_chunked(table, keys, specs, chunks=chunks, backend=backend),
+        repeats,
+    )
+    return {
+        "rows": rows,
+        "groups": len(serial),
+        "chunks": chunks,
+        "backend": backend,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "serial_group_by_s": round(serial_s, 6),
+        "compiled_group_by_s": round(compiled_s, 6),
+        "parallel_chunked_s": round(parallel_s, 6),
+        "speedup_compiled": round(serial_s / compiled_s, 3),
+        "speedup_compiled_parallel": round(serial_s / parallel_s, 3),
+    }
+
+
+def run_lattice(
+    pos_rows: int = 50_000, change_size: int = 5_000, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Time serial vs level-parallel lattice propagate on the retail views."""
+    data = generate_retail(RetailConfig(pos_rows=pos_rows, seed=1997))
+    views = [
+        MaterializedView.build(definition)
+        for definition in retail_view_definitions(data.pos)
+    ]
+    changes = update_generating_changes(data.pos, data.config, change_size, data.rng)
+    lattice = build_lattice_for_views(views)
+
+    serial_options = PropagateOptions()
+    parallel_options = PropagateOptions(level_parallel=True, parallel=True)
+
+    serial_deltas = propagate_lattice(lattice, changes, serial_options)
+    parallel_deltas = propagate_lattice(lattice, changes, parallel_options)
+    for name, delta in serial_deltas.items():
+        if not _rows_equivalent(
+            delta.table.sorted_rows(), parallel_deltas[name].table.sorted_rows()
+        ):
+            raise AssertionError(f"level-parallel delta differs for {name!r}")
+
+    serial_s = _best_of(
+        lambda: propagate_lattice(lattice, changes, serial_options), repeats
+    )
+    parallel_s = _best_of(
+        lambda: propagate_lattice(lattice, changes, parallel_options), repeats
+    )
+    return {
+        "pos_rows": pos_rows,
+        "change_size": change_size,
+        "views": list(lattice.order),
+        "repeats": repeats,
+        "serial_propagate_s": round(serial_s, 6),
+        "level_parallel_propagate_s": round(parallel_s, 6),
+        "speedup_level_parallel": round(serial_s / parallel_s, 3),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.propagate_bench",
+        description="propagate-engine micro-benchmark (serial/compiled/parallel)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke-test scale (20k rows, 1 repeat) for CI",
+    )
+    parser.add_argument("--rows", type=int, default=None, help="input rows")
+    parser.add_argument("--chunks", type=int, default=None, help="chunk count")
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="thread"
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output", default=None,
+        help="JSON path (default: BENCH_propagate.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (20_000 if args.quick else DEFAULT_ROWS)
+    repeats = args.repeats or (1 if args.quick else DEFAULT_REPEATS)
+
+    micro = run_micro(rows=rows, chunks=args.chunks,
+                      backend=args.backend, repeats=repeats)
+    print(
+        f"group_by over {micro['rows']:,} rows -> {micro['groups']:,} groups: "
+        f"serial {micro['serial_group_by_s']:.3f}s, "
+        f"compiled {micro['compiled_group_by_s']:.3f}s "
+        f"({micro['speedup_compiled']:.2f}x), "
+        f"compiled+parallel[{micro['backend']} x{micro['chunks']}] "
+        f"{micro['parallel_chunked_s']:.3f}s "
+        f"({micro['speedup_compiled_parallel']:.2f}x)"
+    )
+
+    lattice = run_lattice(
+        pos_rows=max(rows // 4, 2_000),
+        change_size=max(rows // 40, 500),
+        repeats=repeats,
+    )
+    print(
+        f"propagate_lattice over {lattice['pos_rows']:,} pos rows, "
+        f"{lattice['change_size']:,} changes: "
+        f"serial {lattice['serial_propagate_s']:.3f}s, "
+        f"level-parallel {lattice['level_parallel_propagate_s']:.3f}s "
+        f"({lattice['speedup_level_parallel']:.2f}x)"
+    )
+
+    path = write_bench_json("micro", micro, args.output)
+    write_bench_json("lattice", lattice, args.output)
+    print(f"results merged into {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

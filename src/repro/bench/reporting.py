@@ -9,10 +9,73 @@ and the formatted tables print the same series the paper plots.
 
 from __future__ import annotations
 
+import json
+import pathlib
 from dataclasses import dataclass
 from statistics import mean
 
 from .figure9 import Figure9Panel
+
+#: Machine-readable benchmark results, committed at the repo root to seed
+#: the performance trajectory across PRs.
+BENCH_JSON_NAME = "BENCH_propagate.json"
+
+
+def bench_json_path() -> pathlib.Path:
+    """Default location of the benchmark JSON: the repository root."""
+    return pathlib.Path(__file__).resolve().parents[3] / BENCH_JSON_NAME
+
+
+def write_bench_json(
+    section: str, payload, path: pathlib.Path | str | None = None
+) -> pathlib.Path:
+    """Merge *payload* under *section* in the benchmark JSON file.
+
+    The file accumulates sections from independent runs (the propagate
+    micro-benchmark, the Figure 9 panels), so existing sections are kept;
+    dict payloads are merged key-by-key into an existing dict section so a
+    single panel re-run does not discard its siblings.
+    """
+    target = pathlib.Path(path) if path is not None else bench_json_path()
+    data: dict = {}
+    if target.exists():
+        try:
+            data = json.loads(target.read_text())
+        except ValueError:
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    data.setdefault("schema_version", 1)
+    existing = data.get(section)
+    if isinstance(existing, dict) and isinstance(payload, dict):
+        existing.update(payload)
+    else:
+        data[section] = payload
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def panel_payload(panel: Figure9Panel) -> dict:
+    """A Figure 9 panel as plain JSON-serialisable data."""
+    return {
+        "name": panel.name,
+        "x_label": panel.x_label,
+        "workload": panel.workload,
+        "points": [
+            {
+                "pos_rows": point.pos_rows,
+                "change_size": point.change_size,
+                "propagate_lattice_s": point.propagate_lattice_s,
+                "refresh_s": point.refresh_s,
+                "maintenance_s": point.maintenance_s,
+                "rematerialize_s": point.rematerialize_s,
+                "propagate_direct_s": point.propagate_direct_s,
+                "recompute_groups": point.recompute_groups,
+                "deleted_groups": point.deleted_groups,
+            }
+            for point in panel.points
+        ],
+    }
 
 
 def format_panel(panel: Figure9Panel) -> str:

@@ -14,6 +14,10 @@ Commands
     batch-window report and a rematerialisation comparison.
 ``select``
     HRU greedy view selection over the combined lattice.
+``bench-propagate``
+    Micro-benchmark of the parallel propagate engine (serial vs compiled
+    vs chunked-parallel aggregation, plus level-parallel lattice walks);
+    merges results into ``BENCH_propagate.json``.
 """
 
 from __future__ import annotations
@@ -133,6 +137,25 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_propagate(args: argparse.Namespace) -> int:
+    from .bench.propagate_bench import main as bench_main
+
+    forwarded: list[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.rows is not None:
+        forwarded += ["--rows", str(args.rows)]
+    if args.chunks is not None:
+        forwarded += ["--chunks", str(args.chunks)]
+    if args.backend is not None:
+        forwarded += ["--backend", args.backend]
+    if args.repeats is not None:
+        forwarded += ["--repeats", str(args.repeats)]
+    if args.output is not None:
+        forwarded += ["--output", args.output]
+    return bench_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -161,6 +184,21 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("--pos-rows", type=int, default=10_000)
     select.add_argument("--budget", type=int, default=5)
     select.set_defaults(func=_cmd_select)
+
+    bench = sub.add_parser(
+        "bench-propagate",
+        help="micro-benchmark the parallel propagate engine",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke-test scale (20k rows, 1 repeat)")
+    bench.add_argument("--rows", type=int, default=None)
+    bench.add_argument("--chunks", type=int, default=None)
+    bench.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default=None)
+    bench.add_argument("--repeats", type=int, default=None)
+    bench.add_argument("--output", default=None,
+                       help="JSON path (default: BENCH_propagate.json)")
+    bench.set_defaults(func=_cmd_bench_propagate)
 
     return parser
 

@@ -24,11 +24,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..relational.aggregation import (
+    BACKENDS,
     AggregateSpec,
     MaxReducer,
     MinReducer,
     group_by,
+    group_by_chunked,
 )
+
+__all__ = [
+    "PropagateOptions",
+    "classify_dimensions",
+    "compute_summary_delta",
+]
 from ..relational.expressions import Column, Expression
 from ..relational.operators import hash_join, project, select, union_all
 from ..relational.table import Table
@@ -46,10 +54,57 @@ from .prepare import prepare_changes, source_column
 
 @dataclass(frozen=True)
 class PropagateOptions:
-    """Tuning knobs for the propagate function."""
+    """Tuning knobs for the propagate function.
+
+    The parallel-engine knobs (§4.1.2's "techniques for parallelizing
+    aggregation"):
+
+    ``parallel``
+        Run every propagate aggregation through
+        :func:`~repro.relational.aggregation.group_by_chunked`, splitting
+        the input into ``chunks`` slices folded on ``backend`` and merging
+        partial states with the distributive ``Reducer.merge``.  Output is
+        identical to the serial path.
+    ``chunks`` / ``backend`` / ``max_workers``
+        Chunk count and executor for the chunked aggregation
+        (``"serial"``, ``"thread"``, or ``"process"``), and the worker
+        cap for executor backends (``None`` = executor default).
+    ``level_parallel``
+        In :func:`~repro.lattice.plan.propagate_lattice`, dispatch
+        same-level (antichain) D-lattice nodes concurrently once their
+        parents' deltas are ready, instead of walking the strict
+        topological order.
+    """
 
     policy: MinMaxPolicy = MinMaxPolicy.PAPER
     pre_aggregate: bool = False
+    parallel: bool = False
+    chunks: int = 4
+    backend: str = "thread"
+    max_workers: int | None = None
+    level_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.chunks, int) or isinstance(self.chunks, bool) \
+                or self.chunks < 1:
+            raise ValueError(
+                f"chunks must be a positive integer, got {self.chunks!r}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{', '.join(BACKENDS)}"
+            )
+
+    def aggregate(self, table, keys, specs, name=None):
+        """Run one propagate aggregation under these options: chunked and
+        possibly parallel when ``parallel`` is set, plain otherwise."""
+        if self.parallel:
+            return group_by_chunked(
+                table, keys, specs, chunks=self.chunks, name=name,
+                backend=self.backend, max_workers=self.max_workers,
+            )
+        return group_by(table, keys, specs, name=name)
 
 
 def _delta_specs(
@@ -88,10 +143,10 @@ def compute_summary_delta(
 ) -> SummaryDelta:
     """Compute the summary delta for one view directly from a change set."""
     if options.pre_aggregate:
-        delta_rows = _propagate_preaggregated(definition, changes, options.policy)
+        delta_rows = _propagate_preaggregated(definition, changes, options)
     else:
         pc = prepare_changes(definition, changes, options.policy)
-        delta_rows = group_by(
+        delta_rows = options.aggregate(
             pc,
             definition.group_by,
             _delta_specs(definition, options.policy),
@@ -136,7 +191,7 @@ def classify_dimensions(
 def _propagate_preaggregated(
     definition: SummaryViewDefinition,
     changes: ChangeSet,
-    policy: MinMaxPolicy,
+    options: PropagateOptions,
 ) -> Table:
     """Propagate with delayed dimension joins.
 
@@ -144,11 +199,13 @@ def _propagate_preaggregated(
     and aggregates on (fact-side group-bys ∪ early-dimension group-bys ∪
     the foreign keys of delayed dimensions).  Phase 2 joins the delayed
     dimensions and re-aggregates on the view's true group-by attributes.
+    Both aggregation passes honour the options' parallel engine settings.
     """
+    policy = options.policy
     early, delayed = classify_dimensions(definition)
     if not delayed:
         pc = prepare_changes(definition, changes, policy)
-        return group_by(
+        return options.aggregate(
             pc, definition.group_by, _delta_specs(definition, policy),
             name=f"sd_{definition.name}",
         )
@@ -199,7 +256,7 @@ def _propagate_preaggregated(
                 )
         sides.append(project(joined, outputs))
 
-    pre = group_by(
+    pre = options.aggregate(
         union_all(sides),
         phase1_keys,
         _pre_specs(definition, policy),
@@ -213,7 +270,7 @@ def _propagate_preaggregated(
             joined, fk.dimension.table, on=[(fk.column, fk.dimension.key)]
         )
 
-    return group_by(
+    return options.aggregate(
         joined,
         definition.group_by,
         _delta_specs(definition, policy),

@@ -23,6 +23,7 @@ from .plan import (
     build_lattice_for_views,
     maintain_lattice,
     propagate_lattice,
+    propagation_levels,
     propagate_without_lattice,
     refresh_lattice,
     rematerialize_with_lattice,
@@ -57,6 +58,7 @@ __all__ = [
     "maintain_lattice",
     "make_lattice_friendly",
     "propagate_lattice",
+    "propagation_levels",
     "propagate_without_lattice",
     "refresh_lattice",
     "rematerialize_with_lattice",

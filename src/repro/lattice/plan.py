@@ -21,6 +21,7 @@ This is the paper's Section 5.5 put together:
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -45,30 +46,86 @@ def build_lattice_for_views(
     return ViewLattice.build(definitions, size_hints=size_hints)
 
 
+def propagation_levels(lattice: ViewLattice) -> list[list[str]]:
+    """Group the D-lattice nodes into parent-depth levels (antichains).
+
+    Level 0 holds the roots; level *k* holds every node whose chosen
+    derivation parent sits at level *k*-1.  Each node's delta depends only
+    on its parent's delta, so all nodes of one level can be computed
+    concurrently once the previous level is complete.  Within a level,
+    nodes keep their ``lattice.order`` relative order, which makes the
+    level schedule deterministic.
+    """
+    depth: dict[str, int] = {}
+    levels: list[list[str]] = []
+    for name in lattice.order:
+        node = lattice.node(name)
+        if node.is_root:
+            level = 0
+        else:
+            parent_depth = depth.get(node.parent)
+            if parent_depth is None:
+                raise LatticeError(
+                    f"parent delta {node.parent!r} missing for {name!r}"
+                )
+            level = parent_depth + 1
+        depth[name] = level
+        if level == len(levels):
+            levels.append([])
+        levels[level].append(name)
+    return levels
+
+
 def propagate_lattice(
     lattice: ViewLattice,
     changes: ChangeSet,
     options: PropagateOptions = PropagateOptions(),
     clock: BatchWindowClock | None = None,
 ) -> dict[str, SummaryDelta]:
-    """Compute all summary deltas, exploiting the D-lattice."""
+    """Compute all summary deltas, exploiting the D-lattice.
+
+    With ``options.level_parallel`` the strict topological walk is replaced
+    by level scheduling (:func:`propagation_levels`): sibling nodes of one
+    antichain are dispatched together on a thread pool, with a barrier
+    between levels so every node still reads a fully computed parent delta.
+    Each node's delta is computed by the same code either way, so the
+    resulting deltas are identical; only wall-clock overlap changes.  Each
+    node still records its own ``propagate:<name>`` phase on *clock*
+    (concurrent phases overlap in wall-clock time, as in any parallel
+    schedule).
+    """
     clock = clock or BatchWindowClock()
     deltas: dict[str, SummaryDelta] = {}
-    for name in lattice.order:
+
+    def compute(name: str) -> SummaryDelta:
         node = lattice.node(name)
         with clock.online(f"propagate:{name}"):
             if node.is_root:
-                deltas[name] = compute_summary_delta(
-                    node.definition, changes, options
+                return compute_summary_delta(node.definition, changes, options)
+            parent_delta = deltas.get(node.parent)
+            if parent_delta is None:
+                raise LatticeError(
+                    f"parent delta {node.parent!r} missing for {name!r}"
                 )
-            else:
-                parent_delta = deltas.get(node.parent)
-                if parent_delta is None:
-                    raise LatticeError(
-                        f"parent delta {node.parent!r} missing for {name!r}"
-                    )
-                rows = node.edge.apply_delta(parent_delta.table, options.policy)
-                deltas[name] = SummaryDelta(node.definition, rows, options.policy)
+            rows = node.edge.apply_delta(parent_delta.table, options.policy)
+            return SummaryDelta(node.definition, rows, options.policy)
+
+    if not options.level_parallel:
+        for name in lattice.order:
+            deltas[name] = compute(name)
+        return deltas
+
+    levels = propagation_levels(lattice)
+    workers = options.max_workers or max(
+        (len(level) for level in levels), default=1
+    )
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for level in levels:
+            if len(level) == 1:  # no dispatch overhead for singleton levels
+                deltas[level[0]] = compute(level[0])
+                continue
+            for name, delta in zip(level, pool.map(compute, level)):
+                deltas[name] = delta
     return deltas
 
 

@@ -6,6 +6,7 @@ experiments.  See ``DESIGN.md`` for the substitution rationale.
 """
 
 from .aggregation import (
+    BACKENDS,
     CountNonNullReducer,
     CountRowsReducer,
     MaxReducer,
@@ -15,6 +16,7 @@ from .aggregation import (
     group_by,
     group_by_chunked,
 )
+from .codegen import CompiledAggregation, codegen_enabled, compile_aggregation
 from .expressions import (
     Add,
     And,
@@ -48,6 +50,7 @@ from .table import Row, Table
 from .types import NULL, is_null, null_max, null_min
 
 __all__ = [
+    "BACKENDS",
     "NULL",
     "AccessStats",
     "Add",
@@ -55,6 +58,7 @@ __all__ = [
     "Case",
     "Column",
     "Comparison",
+    "CompiledAggregation",
     "CountNonNullReducer",
     "CountRowsReducer",
     "Expression",
@@ -73,7 +77,9 @@ __all__ = [
     "Sub",
     "SumReducer",
     "Table",
+    "codegen_enabled",
     "col",
+    "compile_aggregation",
     "distinct",
     "group_by",
     "group_by_chunked",

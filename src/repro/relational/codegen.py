@@ -1,0 +1,357 @@
+"""Compiling a whole ``group_by`` call into one flat Python function.
+
+The interpreted hot path evaluates every aggregate input through a tree of
+per-row closures (`Expression.bind`) and dispatches every state update
+through ``Reducer.step`` — four to eight Python calls per row per aggregate.
+This module fuses *one* group-by call — key extraction, every aggregate
+input expression, and every known reducer's step logic — into a single
+generated source function that is ``compile()``d once and then runs the
+entire fold loop without any per-row Python-level call dispatch.  This is
+the "compile the delta pipeline down to flat code" idea that DBToaster
+demonstrates for delta processing, applied to the paper's summary-delta
+aggregation (§4.1.2).
+
+Correctness contract: the generated code replicates, branch for branch, the
+semantics of :mod:`repro.relational.types` null handling and of the five
+distributive reducers in :mod:`repro.relational.aggregation`.  The partial
+states it produces are exactly the states the interpreted path produces, so
+they can be merged with ``Reducer.merge`` and finalised with
+``Reducer.finalize`` interchangeably — chunked/parallel aggregation can mix
+compiled and interpreted workers freely.
+
+Fallback contract: :func:`compile_aggregation` returns ``None`` whenever it
+sees an expression node or reducer it cannot prove it reproduces exactly
+(subclassed reducers, ``And``/``Or``/``Not`` predicates whose short-circuit
+evaluation order is observable, exotic literals).  Callers must keep the
+interpreted path as the fallback.  Setting the environment variable
+``REPRO_CODEGEN=0`` disables compilation globally, which is how benchmarks
+measure the interpreted baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .expressions import (
+    Add,
+    Case,
+    Column,
+    Comparison,
+    Expression,
+    IsNull,
+    Literal,
+    Mul,
+    Neg,
+    Sub,
+)
+from .schema import Schema
+
+__all__ = [
+    "CompiledAggregation",
+    "codegen_enabled",
+    "compile_aggregation",
+]
+
+#: Literal types whose ``repr`` round-trips exactly in generated source.
+_SAFE_LITERAL_TYPES = (int, float, str, bool, type(None))
+
+#: Arithmetic nodes with NULL-propagating semantics (types.null_safe_*).
+#: Exact types only: a subclass could override ``operation``.
+_ARITH_NODES: dict[type, str] = {}  # populated below; Add/Sub/Mul -> operator
+
+_ARITH_NODES[Add] = "+"
+_ARITH_NODES[Sub] = "-"
+_ARITH_NODES[Mul] = "*"
+
+#: Comparison operators that are False when either operand is NULL.
+_COMPARE_SYMBOLS = {"=": "==", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def codegen_enabled() -> bool:
+    """Whether compilation is globally enabled (``REPRO_CODEGEN`` != 0)."""
+    return os.environ.get("REPRO_CODEGEN", "1") != "0"
+
+
+class _Unsupported(Exception):
+    """Raised internally when an expression cannot be compiled exactly."""
+
+
+def _null_test(atom: str) -> str:
+    """The source of ``atom is None``, constant-folded when decidable.
+
+    Row subscripts (``_r[n]``) and temporaries (``_tn``) are nullable at
+    runtime; every other atom is a literal repr or an injected constant,
+    whose nullness is known at generation time.  Folding here keeps the
+    generated source free of ``1 is None``-style tests (which CPython
+    flags with a SyntaxWarning) and lets whole branches disappear.
+    """
+    if atom == "None":
+        return "True"
+    if atom.startswith("_r[") or atom.startswith("_t"):
+        return f"{atom} is None"
+    return "False"
+
+
+class _Emitter:
+    """Accumulates generated source lines and constant bindings."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.env: dict[str, Any] = {}
+        self._counter = 0
+
+    def fresh(self, prefix: str = "_t") -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def line(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def constant(self, value: Any) -> str:
+        name = self.fresh("_const")
+        self.env[name] = value
+        return name
+
+    # ------------------------------------------------------------------
+    # Expression emission.  Returns an *atom*: either a source fragment
+    # that is free to repeat (a row subscript, a constant) or the name of
+    # a temporary bound by emitted statements.  Atoms are pure, so parents
+    # may mention them several times (e.g. in a null check and again in
+    # the operation).
+    # ------------------------------------------------------------------
+
+    def emit(self, expr: Expression, schema: Schema, indent: int) -> str:
+        if type(expr) is Column:
+            return f"_r[{schema.position(expr.name)}]"
+        if type(expr) is Literal:
+            value = expr.value
+            if type(value) in _SAFE_LITERAL_TYPES:
+                return repr(value)
+            return self.constant(value)
+        if type(expr) in _ARITH_NODES:
+            left = self.emit(expr.left, schema, indent)
+            right = self.emit(expr.right, schema, indent)
+            op = _ARITH_NODES[type(expr)]
+            tests = [t for t in (_null_test(left), _null_test(right)) if t != "False"]
+            if "True" in tests:
+                return "None"
+            out = self.fresh()
+            if tests:
+                self.line(
+                    indent,
+                    f"{out} = None if {' or '.join(tests)} "
+                    f"else {left} {op} {right}",
+                )
+            else:
+                self.line(indent, f"{out} = {left} {op} {right}")
+            return out
+        if type(expr) is Neg:
+            operand = self.emit(expr.operand, schema, indent)
+            test = _null_test(operand)
+            if test == "True":
+                return "None"
+            out = self.fresh()
+            if test == "False":
+                self.line(indent, f"{out} = -{operand}")
+            else:
+                self.line(indent, f"{out} = None if {test} else -{operand}")
+            return out
+        if type(expr) is Comparison:
+            left = self.emit(expr.left, schema, indent)
+            right = self.emit(expr.right, schema, indent)
+            tests = [t for t in (_null_test(left), _null_test(right)) if t != "False"]
+            if "True" in tests:
+                return "False"
+            out = self.fresh()
+            if expr.symbol == "<>":
+                guards = [t.replace(" is None", " is not None") for t in tests]
+                clause = " and ".join(guards + [f"{left} != {right}"])
+                self.line(indent, f"{out} = {clause}")
+            else:
+                op = _COMPARE_SYMBOLS[expr.symbol]
+                if tests:
+                    self.line(
+                        indent,
+                        f"{out} = False if {' or '.join(tests)} "
+                        f"else {left} {op} {right}",
+                    )
+                else:
+                    self.line(indent, f"{out} = {left} {op} {right}")
+            return out
+        if type(expr) is IsNull:
+            operand = self.emit(expr.operand, schema, indent)
+            test = _null_test(operand)
+            if test in ("True", "False"):
+                return test
+            out = self.fresh()
+            self.line(indent, f"{out} = {test}")
+            return out
+        if type(expr) is Case:
+            return self._emit_case(expr, schema, indent)
+        # And/Or/Not are deliberately unsupported: their interpreted form
+        # short-circuits, and eager evaluation could raise (e.g. a mixed
+        # type comparison) where the interpreter would not.
+        raise _Unsupported(type(expr).__name__)
+
+    def _emit_case(self, expr: Case, schema: Schema, indent: int) -> str:
+        """Searched CASE with lazy branches: nested if/else so that only
+        the taken branch's value (and no later condition) is evaluated,
+        exactly like the interpreted closure."""
+        out = self.fresh()
+
+        def branch(position: int, depth: int) -> None:
+            if position == len(expr.branches):
+                value = self.emit(expr.default, schema, depth)
+                self.line(depth, f"{out} = {value}")
+                return
+            condition, value_expr = expr.branches[position]
+            test = self.emit(condition, schema, depth)
+            if test == "True":  # statically taken: later branches are dead
+                value = self.emit(value_expr, schema, depth)
+                self.line(depth, f"{out} = {value}")
+                return
+            if test == "False":  # statically skipped
+                branch(position + 1, depth)
+                return
+            self.line(depth, f"if {test}:")
+            value = self.emit(value_expr, schema, depth + 1)
+            self.line(depth + 1, f"{out} = {value}")
+            self.line(depth, "else:")
+            branch(position + 1, depth + 1)
+
+        branch(0, indent)
+        return out
+
+
+def _emit_reducer_step(
+    emitter: _Emitter, kind: str, value: str, slot: int, indent: int
+) -> None:
+    """Inline one reducer's ``step`` against state ``_s[slot]``.
+
+    Every template but ``count_rows`` skips NULL inputs; when the input's
+    nullness is statically known the guard (or the whole step) is folded
+    away.
+    """
+    state = f"_s[{slot}]"
+    if kind == "count_rows":
+        emitter.line(indent, f"{state} += 1")
+        return
+    test = _null_test(value)
+    if test == "True":  # statically-null input: the step is a no-op
+        return
+    if test != "False":
+        emitter.line(indent, f"if {value} is not None:")
+        indent += 1
+    if kind == "sum":
+        emitter.line(indent, f"_a = {state}")
+        emitter.line(indent, f"{state} = {value} if _a is None else _a + {value}")
+    elif kind == "count_non_null":
+        emitter.line(indent, f"{state} += 1")
+    elif kind == "min":
+        emitter.line(indent, f"_a = {state}")
+        emitter.line(indent, f"if _a is None or {value} < _a:")
+        emitter.line(indent + 1, f"{state} = {value}")
+    elif kind == "max":
+        emitter.line(indent, f"_a = {state}")
+        emitter.line(indent, f"if _a is None or {value} > _a:")
+        emitter.line(indent + 1, f"{state} = {value}")
+    else:  # pragma: no cover - guarded by _reducer_kind
+        raise _Unsupported(kind)
+
+
+def _reducer_kind(reducer: Any) -> str:
+    """Map a reducer instance to its inline template, or raise.
+
+    Exact-type checks only: a subclass may override ``step``, in which case
+    the inline template would silently change semantics.
+    """
+    from .aggregation import (
+        CountNonNullReducer,
+        CountRowsReducer,
+        MaxReducer,
+        MinReducer,
+        SumReducer,
+    )
+
+    kinds = {
+        SumReducer: "sum",
+        CountRowsReducer: "count_rows",
+        CountNonNullReducer: "count_non_null",
+        MinReducer: "min",
+        MaxReducer: "max",
+    }
+    kind = kinds.get(type(reducer))
+    if kind is None:
+        raise _Unsupported(type(reducer).__name__)
+    return kind
+
+
+#: Initial accumulator per reducer template (matches Reducer.create()).
+_INITIAL_STATE = {
+    "sum": "None",
+    "count_rows": "0",
+    "count_non_null": "0",
+    "min": "None",
+    "max": "None",
+}
+
+
+@dataclass(frozen=True)
+class CompiledAggregation:
+    """One compiled group-by fold loop.
+
+    ``fold(rows, groups)`` folds *rows* into *groups* (a dict mapping key
+    tuples to mutable state lists, exactly as the interpreted path builds)
+    and returns it.  ``source`` is the generated Python, kept for tests and
+    debugging.
+    """
+
+    source: str
+    fold: Callable[[Sequence[tuple], dict], dict]
+
+
+def compile_aggregation(
+    schema: Schema,
+    keys: Sequence[str],
+    aggregates: Sequence[tuple[str, Expression, Any]],
+) -> CompiledAggregation | None:
+    """Compile one group-by call into a flat fold function.
+
+    Returns ``None`` (caller falls back to the interpreter) when codegen is
+    disabled or any expression/reducer is outside the supported subset.
+    """
+    if not codegen_enabled():
+        return None
+    try:
+        key_positions = schema.positions(keys)
+        emitter = _Emitter()
+        emitter.line(0, "def _fold(_rows, _groups):")
+        emitter.line(1, "_get = _groups.get")
+        emitter.line(1, "for _r in _rows:")
+        if key_positions:
+            key_source = "(" + ", ".join(f"_r[{p}]" for p in key_positions) + ",)"
+        else:
+            key_source = "()"
+        emitter.line(2, f"_k = {key_source}")
+        emitter.line(2, "_s = _get(_k)")
+        kinds = [_reducer_kind(reducer) for _n, _e, reducer in aggregates]
+        initial = "[" + ", ".join(_INITIAL_STATE[kind] for kind in kinds) + "]"
+        emitter.line(2, "if _s is None:")
+        emitter.line(3, f"_s = _groups[_k] = {initial}")
+        for slot, ((_name, expr, _reducer), kind) in enumerate(zip(aggregates, kinds)):
+            if kind == "count_rows" and type(expr) in (Column, Literal):
+                # COUNT(*) ignores its input; skip evaluating trivial sources.
+                value = "None"
+            else:
+                value = emitter.emit(expr, schema, 2)
+            _emit_reducer_step(emitter, kind, value, slot, 2)
+        emitter.line(1, "return _groups")
+    except _Unsupported:
+        return None
+
+    source = "\n".join(emitter.lines) + "\n"
+    namespace: dict[str, Any] = dict(emitter.env)
+    exec(compile(source, "<repro.codegen>", "exec"), namespace)  # noqa: S102
+    return CompiledAggregation(source=source, fold=namespace["_fold"])

@@ -56,17 +56,19 @@ class Table:
         return self.scan()
 
     def scan(self) -> Iterator[Row]:
-        """Iterate over live rows in slot order."""
+        """Iterate over live rows in slot order.
+
+        Access accounting is charged up front — one increment of the live
+        row count per scan, not one per row — so the hot loop is free of
+        stats branches.  (Scans in this engine are consumed to exhaustion;
+        an abandoned scan therefore still counts all live rows.)
+        """
         stats = collector()
-        if stats is None:
-            for row in self._rows:
-                if row is not None:
-                    yield row
-        else:
-            for row in self._rows:
-                if row is not None:
-                    stats.rows_scanned += 1
-                    yield row
+        if stats is not None:
+            stats.rows_scanned += self._live_count
+        for row in self._rows:
+            if row is not None:
+                yield row
 
     def rows(self) -> list[Row]:
         """Materialise the live rows as a list."""

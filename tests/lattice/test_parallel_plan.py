@@ -1,0 +1,152 @@
+"""Level-parallel lattice scheduling vs the serial topological walk.
+
+The paper's D-lattice propagation (Section 5.5) only constrains a node to
+run after its derivation parent; sibling nodes of one antichain level are
+independent.  These tests pin down (a) the level decomposition itself over
+the Figure 9 retail lattice, and (b) delta equality between the serial
+walk and the level-parallel schedule, across change workloads and options.
+"""
+
+import pytest
+
+from repro.core import MinMaxPolicy, PropagateOptions
+from repro.lattice import (
+    build_lattice_for_views,
+    maintain_lattice,
+    propagate_lattice,
+    propagation_levels,
+)
+from repro.views import MaterializedView
+from repro.warehouse import BatchWindowClock
+from repro.workload import (
+    RetailConfig,
+    generate_retail,
+    insertion_generating_changes,
+    retail_view_definitions,
+    update_generating_changes,
+)
+
+from ..conftest import assert_view_matches_recomputation
+
+
+def retail_setup(seed=23, pos_rows=2_000):
+    data = generate_retail(RetailConfig(pos_rows=pos_rows, seed=seed))
+    views = [
+        MaterializedView.build(definition)
+        for definition in retail_view_definitions(data.pos)
+    ]
+    return data, views
+
+
+class TestPropagationLevels:
+    def test_figure9_retail_lattice_levels(self):
+        _data, views = retail_setup()
+        lattice = build_lattice_for_views(views)
+        levels = propagation_levels(lattice)
+        # Level 0 holds exactly the roots; every other node sits one level
+        # below its chosen parent, so siblings share a level.
+        assert [name for name in levels[0]] == [
+            node.name for node in lattice.roots()
+        ]
+        flat = [name for level in levels for name in level]
+        assert sorted(flat) == sorted(lattice.order)
+        depth = {
+            name: index
+            for index, level in enumerate(levels)
+            for name in level
+        }
+        for name in lattice.order:
+            node = lattice.node(name)
+            if not node.is_root:
+                assert depth[name] == depth[node.parent] + 1
+
+    def test_sibling_views_share_a_level(self):
+        """The retail lattice's sCD and SiC views both derive from SID."""
+        _data, views = retail_setup()
+        lattice = build_lattice_for_views(views)
+        levels = propagation_levels(lattice)
+        parents = {
+            name: lattice.node(name).parent for name in lattice.order
+        }
+        siblings = [
+            name for name in lattice.order
+            if parents[name] == "SID_sales"
+        ]
+        if len(siblings) >= 2:  # guard against future lattice re-planning
+            (level_of,) = [
+                index for index, level in enumerate(levels)
+                if siblings[0] in level
+            ]
+            assert all(name in levels[level_of] for name in siblings)
+
+
+class TestLevelParallelEquality:
+    @pytest.mark.parametrize("workload", ["update", "insertion"])
+    @pytest.mark.parametrize("policy", list(MinMaxPolicy))
+    def test_deltas_match_serial(self, workload, policy):
+        data, views = retail_setup()
+        factory = (
+            update_generating_changes if workload == "update"
+            else insertion_generating_changes
+        )
+        changes = factory(data.pos, data.config, 250, data.rng)
+        lattice = build_lattice_for_views(views)
+
+        serial = propagate_lattice(
+            lattice, changes, PropagateOptions(policy=policy)
+        )
+        parallel = propagate_lattice(
+            lattice, changes,
+            PropagateOptions(policy=policy, level_parallel=True),
+        )
+        assert set(serial) == set(parallel)
+        for name in serial:
+            assert (
+                parallel[name].table.sorted_rows()
+                == serial[name].table.sorted_rows()
+            ), name
+
+    def test_chunked_parallel_aggregation_matches(self):
+        """parallel=True (chunked folds) composed with level_parallel."""
+        data, views = retail_setup(seed=29)
+        changes = update_generating_changes(data.pos, data.config, 300, data.rng)
+        lattice = build_lattice_for_views(views)
+        serial = propagate_lattice(lattice, changes)
+        parallel = propagate_lattice(
+            lattice, changes,
+            PropagateOptions(
+                parallel=True, chunks=3, backend="thread", level_parallel=True
+            ),
+        )
+        for name in serial:
+            assert (
+                parallel[name].table.sorted_rows()
+                == serial[name].table.sorted_rows()
+            ), name
+
+    def test_clock_records_every_node_online(self):
+        data, views = retail_setup(seed=31, pos_rows=800)
+        changes = update_generating_changes(data.pos, data.config, 80, data.rng)
+        lattice = build_lattice_for_views(views)
+        clock = BatchWindowClock()
+        propagate_lattice(
+            lattice, changes, PropagateOptions(level_parallel=True), clock
+        )
+        recorded = sorted(phase.name for phase in clock.report.phases)
+        assert recorded == sorted(
+            f"propagate:{name}" for name in lattice.order
+        )
+        assert all(not phase.offline for phase in clock.report.phases)
+
+    def test_full_maintenance_with_parallel_engine(self):
+        """End to end: parallel propagate + refresh converges the views."""
+        data, views = retail_setup(seed=37, pos_rows=1_500)
+        changes = update_generating_changes(data.pos, data.config, 150, data.rng)
+        maintain_lattice(
+            views, changes,
+            options=PropagateOptions(
+                parallel=True, chunks=4, backend="thread", level_parallel=True
+            ),
+        )
+        for view in views:
+            assert_view_matches_recomputation(view)
