@@ -26,13 +26,14 @@ def results_store() -> dict:
 
 @pytest.fixture(scope="session")
 def save_result():
-    """Persist a named report under benchmarks/results/."""
+    """Persist a named report under benchmarks/results/ (atomically, so an
+    interrupted run never leaves a truncated artifact)."""
+    from repro.bench.reporting import atomic_write_text
+
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def save(name: str, text: str) -> pathlib.Path:
-        path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
-        return path
+        return atomic_write_text(RESULTS_DIR / f"{name}.txt", text + "\n")
 
     return save
 

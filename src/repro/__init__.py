@@ -71,6 +71,18 @@ from .errors import (
     UnsupportedAggregateError,
     WorkloadError,
 )
+from .obs import (
+    MetricsRegistry,
+    Span,
+    TraceRecorder,
+    format_span_tree,
+    install_recorder,
+    span,
+    trace,
+    trace_summary,
+    write_trace_jsonl,
+)
+from .obs import registry as metrics_registry
 from .lattice import (
     EdgeQuery,
     LatticeMaintenanceResult,
@@ -136,6 +148,7 @@ __all__ = [
     "MaterializedView",
     "Max",
     "Median",
+    "MetricsRegistry",
     "Min",
     "MinMaxPolicy",
     "NightlyResult",
@@ -148,12 +161,14 @@ __all__ = [
     "Schema",
     "SchemaError",
     "SelfMaintainability",
+    "Span",
     "SqliteWarehouse",
     "Sum",
     "SummaryDelta",
     "SummaryViewDefinition",
     "Table",
     "TableError",
+    "TraceRecorder",
     "UnsupportedAggregateError",
     "ViewLattice",
     "Warehouse",
@@ -165,12 +180,15 @@ __all__ = [
     "compute_summary_delta",
     "compute_summary_delta_combined",
     "cube_lattice",
+    "format_span_tree",
     "greedy_select",
+    "install_recorder",
     "lit",
     "maintain_by_group_recompute",
     "maintain_lattice",
     "maintain_view",
     "make_lattice_friendly",
+    "metrics_registry",
     "prepare_changes",
     "propagate_lattice",
     "propagate_without_lattice",
@@ -180,5 +198,9 @@ __all__ = [
     "render_summary_delta_sql",
     "render_view_sql",
     "run_nightly_maintenance",
+    "span",
+    "trace",
+    "trace_summary",
+    "write_trace_jsonl",
     "__version__",
 ]

@@ -10,7 +10,9 @@ and the formatted tables print the same series the paper plots.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 from dataclasses import dataclass
 from statistics import mean
 
@@ -26,6 +28,33 @@ def bench_json_path() -> pathlib.Path:
     return pathlib.Path(__file__).resolve().parents[3] / BENCH_JSON_NAME
 
 
+def atomic_write_text(path: pathlib.Path | str, text: str) -> pathlib.Path:
+    """Write *text* to *path* atomically (tempfile + ``os.replace``).
+
+    A reader — or a crashed writer — can then never observe a truncated or
+    half-written file: the content appears in one rename.  The temporary
+    file lives in the target's directory so the replace stays on one
+    filesystem.
+    """
+    target = pathlib.Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent or pathlib.Path("."),
+        prefix=target.name + ".",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
 def write_bench_json(
     section: str, payload, path: pathlib.Path | str | None = None
 ) -> pathlib.Path:
@@ -34,7 +63,9 @@ def write_bench_json(
     The file accumulates sections from independent runs (the propagate
     micro-benchmark, the Figure 9 panels), so existing sections are kept;
     dict payloads are merged key-by-key into an existing dict section so a
-    single panel re-run does not discard its siblings.
+    single panel re-run does not discard its siblings.  The merged file is
+    replaced atomically: an interrupted run leaves the previous contents
+    intact rather than a truncated JSON document.
     """
     target = pathlib.Path(path) if path is not None else bench_json_path()
     data: dict = {}
@@ -51,8 +82,9 @@ def write_bench_json(
         existing.update(payload)
     else:
         data[section] = payload
-    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return target
+    return atomic_write_text(
+        target, json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def panel_payload(panel: Figure9Panel) -> dict:

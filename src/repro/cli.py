@@ -18,6 +18,12 @@ Commands
     Micro-benchmark of the parallel propagate engine (serial vs compiled
     vs chunked-parallel aggregation, plus level-parallel lattice walks);
     merges results into ``BENCH_propagate.json``.
+``trace``
+    Run one nightly maintenance over the Figure 9 retail workload under
+    the observability layer and print the span tree, the metrics snapshot,
+    and the span-derived batch-window split, cross-checked against the
+    legacy :class:`~repro.warehouse.batch.BatchWindowClock` report.
+    ``--jsonl PATH`` additionally exports the trace as JSON lines.
 """
 
 from __future__ import annotations
@@ -137,6 +143,97 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.propagate import PropagateOptions
+    from .obs import (
+        format_span_tree,
+        registry,
+        trace,
+        trace_summary,
+        write_trace_jsonl,
+    )
+    from .obs.tracing import trace_kill_switch
+    from .warehouse.nightly import run_nightly_maintenance
+    from .workload import (
+        RetailConfig,
+        build_retail_warehouse,
+        generate_retail,
+        insertion_generating_changes,
+        update_generating_changes,
+    )
+
+    if trace_kill_switch():
+        print(
+            "tracing is disabled by REPRO_TRACE=0; "
+            "unset it (or set REPRO_TRACE=1) to record spans"
+        )
+        return 1
+
+    data = generate_retail(RetailConfig(pos_rows=args.pos_rows))
+    warehouse = build_retail_warehouse(data)
+    if args.workload == "insert":
+        staged = insertion_generating_changes(
+            data.pos, data.config, args.changes, data.rng
+        )
+    else:
+        staged = update_generating_changes(
+            data.pos, data.config, args.changes, data.rng
+        )
+    pending = warehouse.pending_changes("pos")
+    for row in staged.insertions.scan():
+        pending.insert(row)
+    for row in staged.deletions.scan():
+        pending.delete(row)
+
+    options = PropagateOptions(
+        parallel=args.parallel, level_parallel=args.parallel
+    )
+    registry().reset()
+    with trace() as recorder:
+        result = run_nightly_maintenance(warehouse, options=options)
+    root = recorder.finish()
+
+    print(format_span_tree(root, max_depth=args.max_depth))
+    summary = trace_summary(root, registry())
+    window = summary["window"]
+    print(
+        f"\nbatch window from span tags: "
+        f"online {window['online_s']:.3f}s, offline {window['offline_s']:.3f}s"
+        f" ({summary['spans']} spans recorded)"
+    )
+    if "metrics" in summary:
+        print("metrics:")
+        for name, value in sorted(summary["metrics"]["counters"].items()):
+            print(f"  {name:<32} {value:>12,}")
+        for name, stats in sorted(summary["metrics"]["histograms"].items()):
+            print(
+                f"  {name:<32} count={stats['count']:,} "
+                f"mean={stats['mean']:.6g} max={stats['max']:.6g}"
+            )
+
+    report = result.report
+    agrees = True
+    for span_total, clock_total, label in (
+        (window["online_s"], report.online_seconds, "online"),
+        (window["offline_s"], report.offline_seconds, "offline"),
+    ):
+        if clock_total > 0:
+            drift = abs(span_total - clock_total) / clock_total
+        else:
+            drift = abs(span_total)
+        ok = drift <= 0.01
+        agrees = agrees and ok
+        print(
+            f"{label}: spans {span_total:.3f}s vs clock {clock_total:.3f}s "
+            f"({'agree' if ok else f'DISAGREE, drift {drift:.1%}'})"
+        )
+
+    if args.jsonl is not None:
+        path = write_trace_jsonl(root, args.jsonl)
+        print(f"trace written to {path}")
+    return 0 if agrees else 1
+
+
 def _cmd_bench_propagate(args: argparse.Namespace) -> int:
     from .bench.propagate_bench import main as bench_main
 
@@ -153,6 +250,8 @@ def _cmd_bench_propagate(args: argparse.Namespace) -> int:
         forwarded += ["--repeats", str(args.repeats)]
     if args.output is not None:
         forwarded += ["--output", args.output]
+    if args.trace_threshold is not None:
+        forwarded += ["--trace-threshold", str(args.trace_threshold)]
     return bench_main(forwarded)
 
 
@@ -198,7 +297,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=None)
     bench.add_argument("--output", default=None,
                        help="JSON path (default: BENCH_propagate.json)")
+    bench.add_argument("--trace-threshold", type=float, default=None,
+                       metavar="PCT",
+                       help="fail if tracing overhead exceeds PCT percent")
     bench.set_defaults(func=_cmd_bench_propagate)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one nightly maintenance run and print the span tree",
+    )
+    trace.add_argument("--pos-rows", type=int, default=50_000)
+    trace.add_argument("--changes", type=int, default=5_000)
+    trace.add_argument("--workload", choices=["update", "insert"],
+                       default="update")
+    trace.add_argument("--parallel", action="store_true",
+                       help="chunked-parallel propagate + level-parallel walk")
+    trace.add_argument("--max-depth", type=int, default=None,
+                       help="limit the printed span-tree depth")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also export the trace as JSON lines")
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 

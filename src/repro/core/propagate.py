@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import metrics, tracing
 from ..relational.aggregation import (
     BACKENDS,
     AggregateSpec,
@@ -142,17 +143,27 @@ def compute_summary_delta(
     options: PropagateOptions = PropagateOptions(),
 ) -> SummaryDelta:
     """Compute the summary delta for one view directly from a change set."""
-    if options.pre_aggregate:
-        delta_rows = _propagate_preaggregated(definition, changes, options)
-    else:
-        pc = prepare_changes(definition, changes, options.policy)
-        delta_rows = options.aggregate(
-            pc,
-            definition.group_by,
-            _delta_specs(definition, options.policy),
-            name=f"sd_{definition.name}",
-        )
-    return SummaryDelta(definition, delta_rows, options.policy)
+    with tracing.span(
+        "compute_delta", view=definition.name,
+        pre_aggregate=options.pre_aggregate, parallel=options.parallel,
+    ) as sp:
+        if options.pre_aggregate:
+            delta_rows = _propagate_preaggregated(definition, changes, options)
+        else:
+            pc = prepare_changes(definition, changes, options.policy)
+            delta_rows = options.aggregate(
+                pc,
+                definition.group_by,
+                _delta_specs(definition, options.policy),
+                name=f"sd_{definition.name}",
+            )
+        sp.add("changes_in", changes.size())
+        sp.add("delta_rows", len(delta_rows))
+        if tracing.enabled():
+            registry = metrics.registry()
+            registry.counter("propagate.invocations").inc()
+            registry.counter("propagate.delta_rows").inc(len(delta_rows))
+        return SummaryDelta(definition, delta_rows, options.policy)
 
 
 # ----------------------------------------------------------------------

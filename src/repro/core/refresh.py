@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import InconsistentDeltaError, MaintenanceError
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..relational.table import Row
 from ..relational.types import null_max, null_min
 from ..views.definition import SummaryViewDefinition
@@ -315,6 +317,38 @@ def refresh(
             f"delta for {delta.definition.name!r} applied to view "
             f"{view.definition.name!r}"
         )
+    with tracing.span(
+        "refresh", view=view.definition.name, variant=variant.value,
+    ) as span:
+        stats = _refresh_impl(view, delta, recompute, variant, assume_all_new)
+        _record_refresh_stats(span, stats)
+        return stats
+
+
+def _record_refresh_stats(span, stats: RefreshStats) -> None:
+    """Mirror one refresh run's action counts onto its span and the
+    process-wide metrics registry."""
+    span.add("delta_rows", stats.delta_rows)
+    span.add("inserted", stats.inserted)
+    span.add("updated", stats.updated)
+    span.add("deleted", stats.deleted)
+    span.add("recomputed", stats.recomputed)
+    if tracing.enabled():
+        registry = obs_metrics.registry()
+        registry.counter("refresh.delta_rows").inc(stats.delta_rows)
+        registry.counter("refresh.inserted").inc(stats.inserted)
+        registry.counter("refresh.updated").inc(stats.updated)
+        registry.counter("refresh.deleted").inc(stats.deleted)
+        registry.counter("refresh.recomputed").inc(stats.recomputed)
+
+
+def _refresh_impl(
+    view: MaterializedView,
+    delta: SummaryDelta,
+    recompute: RecomputeFn | None,
+    variant: RefreshVariant,
+    assume_all_new: bool,
+) -> RefreshStats:
     plan = RefreshPlan(view.definition, delta.policy)
     stats = RefreshStats(delta_rows=len(delta.table))
     index = view.group_key_index()

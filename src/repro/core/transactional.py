@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from ..errors import InconsistentDeltaError, MaintenanceError
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from ..views.materialize import MaterializedView
 from .deltas import SummaryDelta
 from .refresh import (
@@ -29,6 +31,7 @@ from .refresh import (
     RefreshActions,
     RefreshPlan,
     RefreshStats,
+    _record_refresh_stats,
     decide,
 )
 
@@ -86,6 +89,23 @@ def refresh_atomically(
             f"delta for {delta.definition.name!r} applied to view "
             f"{view.definition.name!r}"
         )
+    with tracing.span(
+        "refresh_atomic", view=view.definition.name,
+    ) as refresh_span:
+        stats = _refresh_atomically_impl(
+            view, delta, recompute, failure_hook, refresh_span
+        )
+        _record_refresh_stats(refresh_span, stats)
+        return stats
+
+
+def _refresh_atomically_impl(
+    view: MaterializedView,
+    delta: SummaryDelta,
+    recompute: RecomputeFn | None,
+    failure_hook: FailureHook | None,
+    refresh_span,
+) -> RefreshStats:
     plan = RefreshPlan(view.definition, delta.policy)
     stats = RefreshStats(delta_rows=len(delta.table))
     index = view.group_key_index()
@@ -164,7 +184,19 @@ def refresh_atomically(
                 undo.record_update(slot, old_row)
             stats.recomputed += 1
             step += 1
-    except BaseException:
-        undo.rollback()
+    except BaseException as failure:
+        undo_entries = len(undo)
+        with tracing.span("rollback", view=name) as rollback_span:
+            rollback_span.set_tag("cause", type(failure).__name__)
+            rollback_span.add("undo_entries", undo_entries)
+            rollback_span.add("rolled_back_steps", step)
+            undo.rollback()
+        if tracing.enabled():
+            registry = obs_metrics.registry()
+            registry.counter("refresh.rollbacks").inc()
+            registry.counter("refresh.rolled_back_entries").inc(undo_entries)
         raise
+    refresh_span.add("undo_entries", len(undo))
+    if tracing.enabled():
+        obs_metrics.registry().counter("refresh.undo_entries").inc(len(undo))
     return stats

@@ -29,6 +29,7 @@ from ..core.deltas import SummaryDelta
 from ..core.maintenance import base_recompute_fn
 from ..core.propagate import PropagateOptions, compute_summary_delta
 from ..core.refresh import RefreshStats, RefreshVariant, refresh
+from ..obs import tracing
 from ..errors import LatticeError, MaintenanceError
 from ..views.materialize import MaterializedView, compute_rows
 from ..warehouse.batch import BatchReport, BatchWindowClock
@@ -96,10 +97,19 @@ def propagate_lattice(
     """
     clock = clock or BatchWindowClock()
     deltas: dict[str, SummaryDelta] = {}
+    levels = propagation_levels(lattice)
+    depth_of = {
+        name: depth for depth, level in enumerate(levels) for name in level
+    }
 
-    def compute(name: str) -> SummaryDelta:
+    def compute(name: str,
+                parent_span: "tracing.Span | None" = None) -> SummaryDelta:
         node = lattice.node(name)
-        with clock.online(f"propagate:{name}"):
+        with clock.online(
+            f"propagate:{name}", parent=parent_span, node=name,
+            kind="root" if node.is_root else "derived",
+            level=depth_of[name],
+        ), tracing.span("node:" + name) as node_span:
             if node.is_root:
                 return compute_summary_delta(node.definition, changes, options)
             parent_delta = deltas.get(node.parent)
@@ -108,24 +118,41 @@ def propagate_lattice(
                     f"parent delta {node.parent!r} missing for {name!r}"
                 )
             rows = node.edge.apply_delta(parent_delta.table, options.policy)
+            node_span.add("delta_rows", len(rows))
             return SummaryDelta(node.definition, rows, options.policy)
 
-    if not options.level_parallel:
-        for name in lattice.order:
-            deltas[name] = compute(name)
-        return deltas
+    with tracing.span(
+        "propagate", views=len(lattice.order),
+        level_parallel=options.level_parallel,
+    ):
+        if not options.level_parallel:
+            for name in lattice.order:
+                deltas[name] = compute(name)
+            return deltas
 
-    levels = propagation_levels(lattice)
-    workers = options.max_workers or max(
-        (len(level) for level in levels), default=1
-    )
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        for level in levels:
-            if len(level) == 1:  # no dispatch overhead for singleton levels
-                deltas[level[0]] = compute(level[0])
-                continue
-            for name, delta in zip(level, pool.map(compute, level)):
-                deltas[name] = delta
+        workers = options.max_workers or max(
+            (len(level) for level in levels), default=1
+        )
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for depth, level in enumerate(levels):
+                with tracing.span(
+                    f"level:{depth}", nodes=len(level),
+                ) as level_span:
+                    if len(level) == 1:  # no dispatch overhead for singletons
+                        deltas[level[0]] = compute(level[0])
+                        continue
+                    # Worker threads have their own (empty) span stacks, so
+                    # their node spans must be parented explicitly.
+                    anchor = (
+                        level_span
+                        if level_span is not tracing.NOOP_SPAN
+                        else None
+                    )
+                    results = pool.map(
+                        lambda name: compute(name, parent_span=anchor), level
+                    )
+                    for name, delta in zip(level, results):
+                        deltas[name] = delta
     return deltas
 
 
@@ -139,7 +166,8 @@ def propagate_without_lattice(
     clock = clock or BatchWindowClock()
     deltas: dict[str, SummaryDelta] = {}
     for definition in definitions:
-        with clock.online(f"propagate-direct:{definition.name}"):
+        with clock.online(f"propagate-direct:{definition.name}",
+                          node=definition.name):
             deltas[definition.name] = compute_summary_delta(
                 definition, changes, options
             )
@@ -159,7 +187,7 @@ def refresh_lattice(
         delta = deltas.get(name)
         if delta is None:
             raise MaintenanceError(f"no summary delta computed for view {name!r}")
-        with clock.offline(f"refresh:{name}"):
+        with clock.offline(f"refresh:{name}", node=name):
             stats[name] = refresh(
                 view,
                 delta,
@@ -251,7 +279,7 @@ def maintain_lattice(
         )
 
     if apply_base_changes:
-        with clock.offline("apply-base"):
+        with clock.offline("apply-base", fact=fact.name):
             changes.apply_to(views[0].definition.fact.table)
 
     stats = refresh_lattice(views_by_name, deltas, variant, clock)

@@ -1,0 +1,75 @@
+"""Maintenance observability: structured tracing + metrics.
+
+The subsystem behind the ``repro trace`` CLI.  Zero dependencies, off by
+default, and guarded by the ``REPRO_TRACE`` kill-switch:
+
+* :mod:`repro.obs.tracing` — hierarchical spans with wall-clock durations,
+  tags, and row/tuple counters, recorded by the engine's hot paths
+  (``Table.scan``, ``group_by``, propagate, refresh, the nightly driver);
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
+  and histograms (refresh actions, undo-log entries, chunk sizes,
+  executor queue waits);
+* :mod:`repro.obs.export` — JSON-lines trace files, the human span-tree
+  printer, and the compact summary merged into ``BENCH_*.json``.
+
+Quick use::
+
+    from repro.obs import trace, format_span_tree
+
+    with trace() as recorder:
+        run_nightly_maintenance(warehouse)
+    print(format_span_tree(recorder.root))
+"""
+
+from . import export, metrics, tracing
+from .export import (
+    format_span_tree,
+    span_to_dict,
+    trace_summary,
+    write_trace_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    set_registry,
+)
+from .tracing import (
+    NOOP_SPAN,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    active_recorder,
+    current_span,
+    enabled,
+    install_recorder,
+    span,
+    trace,
+    trace_kill_switch,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Span",
+    "TraceRecorder",
+    "active_recorder",
+    "current_span",
+    "enabled",
+    "format_span_tree",
+    "install_recorder",
+    "registry",
+    "set_registry",
+    "span",
+    "span_to_dict",
+    "trace",
+    "trace_kill_switch",
+    "trace_summary",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,152 @@
+"""Exporters for recorded traces: JSON-lines, human tree, bench JSON.
+
+Three consumers, three shapes:
+
+* :func:`write_trace_jsonl` — one JSON object per span (id, parent id,
+  name, tags, counters, seconds), the machine-readable artifact a later
+  analysis step can load line by line;
+* :func:`format_span_tree` — the human tree printer the ``repro trace``
+  CLI shows, durations and counters inline;
+* :func:`trace_summary` — a compact summary (window split, per-phase
+  seconds, metrics snapshot) suitable for merging into the repo's
+  ``BENCH_*.json`` via :func:`repro.bench.reporting.write_bench_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any
+
+from .metrics import MetricsRegistry, registry
+from .tracing import Span
+
+__all__ = [
+    "format_span_tree",
+    "span_to_dict",
+    "trace_summary",
+    "write_trace_jsonl",
+]
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """One span as a flat JSON-serialisable record (no children)."""
+    return {
+        "id": span.span_id,
+        "parent_id": span.parent.span_id if span.parent is not None else None,
+        "name": span.name,
+        "seconds": round(span.seconds, 9),
+        "tags": dict(span.tags),
+        "counters": dict(span.counters),
+    }
+
+
+def write_trace_jsonl(root: Span, path: pathlib.Path | str) -> pathlib.Path:
+    """Write the span tree as JSON lines, parents before children.
+
+    Written atomically (tempfile + ``os.replace``) so a crashed exporter
+    never leaves a truncated trace file behind.
+    """
+    target = pathlib.Path(path)
+    lines = [json.dumps(span_to_dict(span), sort_keys=True)
+             for span in root.walk()]
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def _format_counters(span: Span) -> str:
+    if not span.counters:
+        return ""
+    inner = ", ".join(
+        f"{key}={value:,}" if isinstance(value, int) else f"{key}={value:.3g}"
+        for key, value in sorted(span.counters.items())
+    )
+    return f"  [{inner}]"
+
+
+def _format_tags(span: Span) -> str:
+    shown = {key: value for key, value in span.tags.items()}
+    if not shown:
+        return ""
+    inner = " ".join(f"{key}={value}" for key, value in sorted(shown.items()))
+    return f"  ({inner})"
+
+
+def format_span_tree(root: Span, max_depth: int | None = None) -> str:
+    """An indented tree: name, seconds, tags, counters, one span per line."""
+    lines: list[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{span.name:<{max(1, 40 - 2 * depth)}} "
+            f"{span.seconds * 1000:>10.3f}ms"
+            f"{_format_tags(span)}{_format_counters(span)}"
+        )
+        for child in span.children:
+            render(child, depth + 1)
+
+    render(root, 0)
+    return "\n".join(lines)
+
+
+def trace_summary(
+    root: Span, metrics: MetricsRegistry | None = None
+) -> dict[str, Any]:
+    """A compact plain-data summary of one traced run.
+
+    The ``window`` block is the span-tag-driven batch-window accounting:
+    seconds summed over spans tagged ``window=online`` / ``window=offline``
+    whose ancestors carry no window tag (so nested phases are not counted
+    twice) — the same rule :meth:`repro.warehouse.batch.BatchReport.from_spans`
+    applies.
+    """
+    online = offline = 0.0
+    phases: dict[str, float] = {}
+    for span in root.walk():
+        window = span.tags.get("window")
+        if window is None:
+            continue
+        ancestor = span.parent
+        nested = False
+        while ancestor is not None:
+            if "window" in ancestor.tags:
+                nested = True
+                break
+            ancestor = ancestor.parent
+        if nested:
+            continue
+        if window == "offline":
+            offline += span.seconds
+        else:
+            online += span.seconds
+        phases[span.name] = phases.get(span.name, 0.0) + span.seconds
+    summary: dict[str, Any] = {
+        "total_s": round(root.seconds, 6),
+        "spans": sum(1 for _ in root.walk()),
+        "window": {
+            "online_s": round(online, 6),
+            "offline_s": round(offline, 6),
+        },
+        "phases": {name: round(seconds, 6) for name, seconds in sorted(phases.items())},
+    }
+    snapshot = (metrics or registry()).snapshot()
+    if any(snapshot.values()):
+        summary["metrics"] = snapshot
+    return summary

@@ -1,0 +1,199 @@
+"""Process-wide maintenance metrics: counters, gauges, histograms.
+
+Where spans (:mod:`repro.obs.tracing`) answer "where did *this* run's time
+go", metrics accumulate across runs: total rows scanned by propagate,
+refresh actions by kind, undo-log entries written, rollbacks taken, chunk
+sizes seen by the parallel aggregation engine, executor queue waits.
+
+The registry is a plain process-wide object — no background threads, no
+export protocol — because the consumers are the ``repro trace`` CLI, the
+benchmark JSON, and tests.  Instrumented code only touches the registry
+while tracing is enabled (see :func:`repro.obs.tracing.enabled`), so the
+benchmark path stays metric-free when tracing is off.
+
+Metric names are dotted strings; the canonical set emitted by the engine
+is documented in ``docs/api_guide.md`` §Observability.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "set_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: int | float = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (e.g. live undo-log length)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: int | float = 1) -> None:
+        self.value -= n
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+#: Histogram bucket upper bounds: powers of four from 1 up, which spans
+#: chunk sizes (1..10^6 rows) and sub-second queue waits equally well once
+#: waits are recorded in microseconds-as-floats.
+_BUCKET_BOUNDS = tuple(4 ** k for k in range(12))
+
+
+class Histogram:
+    """A fixed-bucket histogram with count/sum/min/max.
+
+    Buckets are cumulative-style upper bounds (``value <= bound``) over
+    powers of four, plus an overflow bucket; enough resolution to see
+    whether chunk sizes are balanced or queue waits are bimodal without
+    configuring anything.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: int | float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for position, bound in enumerate(_BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[position] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metrics; thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    def counter_value(self, name: str) -> int | float:
+        """The counter's value, 0 when it was never touched."""
+        with self._lock:
+            metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as one nested plain-data dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: metric.snapshot()
+                    for name, metric in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: metric.snapshot()
+                    for name, metric in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: metric.snapshot()
+                    for name, metric in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests; the CLI resets before a traced run)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry.
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def set_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = new
+    return previous

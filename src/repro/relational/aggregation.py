@@ -22,9 +22,12 @@ input rows.)
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracing
 from .expressions import Expression
 from .schema import Schema
 from .stats import collector
@@ -238,9 +241,10 @@ def _finalize(
     n_aggs = len(aggregates)
     out_schema = Schema(list(keys) + [output for output, _e, _r in aggregates])
     result = Table(name or f"{default_prefix}({table_name})", out_schema)
-    for key, states in groups.items():
-        finals = tuple(reducers[i].finalize(states[i]) for i in range(n_aggs))
-        result.insert(key + finals)
+    result.insert_many(
+        key + tuple(reducers[i].finalize(states[i]) for i in range(n_aggs))
+        for key, states in groups.items()
+    )
     return result
 
 
@@ -274,9 +278,12 @@ def group_by(
     pass ``compiled=False`` to force the interpreted loop, ``compiled=True``
     to insist on compilation (raises ``ValueError`` if unavailable).
     """
-    rows = _scanned_rows(table)
-    groups = _fold_rows(table.schema, keys, aggregates, rows, compiled)
-    return _finalize(groups, table.name, keys, aggregates, name, "groupby")
+    with tracing.span("group_by", table=table.name) as sp:
+        rows = _scanned_rows(table)
+        groups = _fold_rows(table.schema, keys, aggregates, rows, compiled)
+        sp.add("rows_in", len(rows))
+        sp.add("groups_out", len(groups))
+        return _finalize(groups, table.name, keys, aggregates, name, "groupby")
 
 
 def _chunk_bounds(n_rows: int, chunks: int) -> list[tuple[int, int]]:
@@ -361,56 +368,78 @@ def group_by_chunked(
     if max_workers is not None and max_workers < 1:
         raise ValueError(f"max_workers must be a positive integer, got {max_workers!r}")
 
-    rows = _scanned_rows(table)
-    bounds = _chunk_bounds(len(rows), chunks)
-    schema = table.schema
-    reducers: list[Reducer] = [reducer for _n, _e, reducer in aggregates]
-    n_aggs = len(aggregates)
+    with tracing.span(
+        "group_by_chunked", table=table.name, backend=backend,
+    ) as sp:
+        rows = _scanned_rows(table)
+        bounds = _chunk_bounds(len(rows), chunks)
+        sp.add("rows_in", len(rows))
+        sp.add("chunks", len(bounds))
+        if tracing.enabled():
+            chunk_histogram = obs_metrics.registry().histogram(
+                "aggregation.chunk_rows"
+            )
+            for start, stop in bounds:
+                chunk_histogram.observe(stop - start)
+        schema = table.schema
+        reducers: list[Reducer] = [reducer for _n, _e, reducer in aggregates]
+        n_aggs = len(aggregates)
 
-    partials: list[dict[tuple[Any, ...], list[Any]]]
-    if backend == "serial" or len(bounds) <= 1:
-        partials = [
-            _fold_rows(schema, keys, aggregates, rows[start:stop], compiled)
-            for start, stop in bounds
-        ]
-    else:
-        executor: Executor
-        if backend == "thread":
-            with ThreadPoolExecutor(max_workers=max_workers) as executor:
-                partials = list(
-                    executor.map(
-                        lambda bound: _fold_rows(
-                            schema, keys, aggregates,
-                            rows[bound[0]:bound[1]], compiled,
-                        ),
-                        bounds,
+        partials: list[dict[tuple[Any, ...], list[Any]]]
+        if backend == "serial" or len(bounds) <= 1:
+            partials = [
+                _fold_rows(schema, keys, aggregates, rows[start:stop], compiled)
+                for start, stop in bounds
+            ]
+        else:
+            executor: Executor
+            if backend == "thread":
+                # Queue wait = dispatch-to-start latency per chunk, observable
+                # only on the thread backend (process workers have their own
+                # monotonic clocks, not comparable to ours).
+                dispatched = time.perf_counter()
+                observe_wait = tracing.enabled()
+
+                def run_chunk(bound: tuple[int, int]):
+                    if observe_wait:
+                        obs_metrics.registry().histogram(
+                            "executor.queue_wait_s"
+                        ).observe(time.perf_counter() - dispatched)
+                    return _fold_rows(
+                        schema, keys, aggregates,
+                        rows[bound[0]:bound[1]], compiled,
                     )
-                )
-        else:  # process
-            columns = schema.columns
-            key_tuple = tuple(keys)
-            with ProcessPoolExecutor(max_workers=max_workers) as executor:
-                partials = list(
-                    executor.map(
-                        _process_chunk_task,
-                        (columns for _ in bounds),
-                        (key_tuple for _ in bounds),
-                        (aggregates for _ in bounds),
-                        (rows[start:stop] for start, stop in bounds),
+
+                with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                    partials = list(executor.map(run_chunk, bounds))
+            else:  # process
+                columns = schema.columns
+                key_tuple = tuple(keys)
+                with ProcessPoolExecutor(max_workers=max_workers) as executor:
+                    partials = list(
+                        executor.map(
+                            _process_chunk_task,
+                            (columns for _ in bounds),
+                            (key_tuple for _ in bounds),
+                            (aggregates for _ in bounds),
+                            (rows[start:stop] for start, stop in bounds),
+                        )
                     )
-                )
 
-    merged: dict[tuple[Any, ...], list[Any]] = {}
-    for partial in partials:
-        if not merged:
-            merged = partial
-            continue
-        for key, states in partial.items():
-            existing = merged.get(key)
-            if existing is None:
-                merged[key] = states
-            else:
-                for i in range(n_aggs):
-                    existing[i] = reducers[i].merge(existing[i], states[i])
+        merged: dict[tuple[Any, ...], list[Any]] = {}
+        for partial in partials:
+            if not merged:
+                merged = partial
+                continue
+            for key, states in partial.items():
+                existing = merged.get(key)
+                if existing is None:
+                    merged[key] = states
+                else:
+                    for i in range(n_aggs):
+                        existing[i] = reducers[i].merge(existing[i], states[i])
 
-    return _finalize(merged, table.name, keys, aggregates, name, "groupby_chunked")
+        sp.add("groups_out", len(merged))
+        return _finalize(
+            merged, table.name, keys, aggregates, name, "groupby_chunked"
+        )

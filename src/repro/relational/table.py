@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..errors import TableError
+from ..obs.tracing import current_span
 from .index import HashIndex
 from .schema import Schema
 from .stats import collector
@@ -66,6 +67,9 @@ class Table:
         stats = collector()
         if stats is not None:
             stats.rows_scanned += self._live_count
+        span = current_span()
+        if span is not None:
+            span.add("rows_scanned", self._live_count)
         for row in self._rows:
             if row is not None:
                 yield row
@@ -98,6 +102,26 @@ class Table:
 
     def insert(self, row: Sequence[Any]) -> int:
         """Insert one row; return the slot it was stored at."""
+        slot = self._store_row(row)
+        self._charge_inserts(1)
+        return slot
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows; return how many were inserted.
+
+        Access accounting (stats collector and active span) is charged
+        once for the whole batch, so bulk builders — aggregation outputs,
+        materialisation — stay free of per-row instrumentation lookups.
+        """
+        count = 0
+        for row in rows:
+            self._store_row(row)
+            count += 1
+        self._charge_inserts(count)
+        return count
+
+    def _store_row(self, row: Sequence[Any]) -> int:
+        """The structural part of an insert, with no access accounting."""
         stored = self._check_arity(row)
         if self._free_slots:
             slot = self._free_slots.pop()
@@ -112,18 +136,17 @@ class Table:
                 value = stored[position]
                 counts[value] = counts.get(value, 0) + 1
         self._live_count += 1
-        stats = collector()
-        if stats is not None:
-            stats.rows_inserted += 1
         return slot
 
-    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Insert many rows; return how many were inserted."""
-        count = 0
-        for row in rows:
-            self.insert(row)
-            count += 1
-        return count
+    def _charge_inserts(self, count: int) -> None:
+        if not count:
+            return
+        stats = collector()
+        if stats is not None:
+            stats.rows_inserted += count
+        span = current_span()
+        if span is not None:
+            span.add("rows_inserted", count)
 
     def delete_slot(self, slot: int) -> Row:
         """Delete the row at *slot*; return the removed row."""
@@ -144,6 +167,9 @@ class Table:
         stats = collector()
         if stats is not None:
             stats.rows_deleted += 1
+        span = current_span()
+        if span is not None:
+            span.add("rows_deleted")
         return row
 
     def update_slot(self, slot: int, new_row: Sequence[Any]) -> None:
@@ -168,6 +194,9 @@ class Table:
         stats = collector()
         if stats is not None:
             stats.rows_updated += 1
+        span = current_span()
+        if span is not None:
+            span.add("rows_updated")
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
         """Delete all rows satisfying *predicate*; return how many."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import MaintenanceError
+from ..obs import tracing
 from .batch import BatchReport, BatchWindowClock
 from .catalog import Warehouse
 
@@ -51,19 +52,23 @@ def run_nightly_maintenance(
     clock: BatchWindowClock = maintain_kwargs.pop("clock", None) or BatchWindowClock()
     result = NightlyResult(report=clock.report)
 
-    for fact_name in sorted(warehouse.facts):
-        changes = warehouse.pending_changes(fact_name)
-        if changes.is_empty():
-            continue
-        views = warehouse.views_over(fact_name)
-        if views:
-            result.per_fact[fact_name] = maintain_lattice(
-                views, changes, clock=clock, **maintain_kwargs
-            )
-        else:
-            with clock.offline("apply-base"):
-                changes.apply_to(warehouse.facts[fact_name].table)
-        warehouse.discard_pending(fact_name)
+    with tracing.span("nightly", facts=len(warehouse.facts)) as nightly_span:
+        for fact_name in sorted(warehouse.facts):
+            changes = warehouse.pending_changes(fact_name)
+            if changes.is_empty():
+                continue
+            with tracing.span("fact:" + fact_name) as fact_span:
+                fact_span.add("changes", changes.size())
+                views = warehouse.views_over(fact_name)
+                if views:
+                    result.per_fact[fact_name] = maintain_lattice(
+                        views, changes, clock=clock, **maintain_kwargs
+                    )
+                else:
+                    with clock.offline("apply-base", fact=fact_name):
+                        changes.apply_to(warehouse.facts[fact_name].table)
+                warehouse.discard_pending(fact_name)
+        nightly_span.add("facts_maintained", len(result.per_fact))
 
     if verify:
         stale = [

@@ -7,11 +7,13 @@ from repro.core import (
     compute_summary_delta,
     refresh_atomically,
 )
+from repro.obs import registry, trace
 from repro.views import MaterializedView
 from repro.warehouse import ChangeSet
 
 from ..conftest import (
     assert_view_matches_recomputation,
+    minmax_definition,
     sic_definition,
     sid_definition,
 )
@@ -138,3 +140,165 @@ class TestFailureInjection:
         with pytest.raises(InjectedFailure):
             refresh_atomically(view, delta, broken_recompute)
         assert view.table.sorted_rows() == before
+
+
+def store_minmax_definition(pos):
+    """A finer MIN/MAX view (per store) so the deletion sweep crosses more
+    view tuples — some recomputed, some merely updated."""
+    from repro.aggregates import CountStar, Max, Min, Sum
+    from repro.relational import col
+    from repro.views import SummaryViewDefinition
+
+    return SummaryViewDefinition.create(
+        "store_span",
+        pos,
+        group_by=["storeID"],
+        aggregates=[
+            ("TotalCount", CountStar()),
+            ("FirstSale", Min(col("date"))),
+            ("LastSale", Max(col("date"))),
+            ("TotalQuantity", Sum(col("qty"))),
+        ],
+    )
+
+
+#: Two MIN/MAX-deletion workloads as (definition, inserts, deletes):
+#: deletions hitting each region's extreme dates (region view, every step a
+#: recompute), and a store-level mix where two stores lose an extreme
+#: (recompute) while two others only see later-dated insertions (plain
+#: MAX-raising updates) — so the sweep fails inside both mutation kinds.
+MINMAX_WORKLOADS = {
+    "region": (minmax_definition, [], [
+        (1, 10, 1, 2, 1.0),   # west: deletes a date-1 (current MIN) tuple
+        (3, 13, 4, 2, 1.3),   # east: deletes the date-4 (current MAX) tuple
+    ]),
+    "store": (store_minmax_definition, [
+        (3, 10, 2, 1, 1.0),   # store 3: date 2 is interior to [1, 4] —
+                              # neither extreme threatened, plain update
+    ], [
+        (1, 10, 1, 2, 1.0),   # store 1: a MIN(date) tuple, recompute
+        (2, 12, 3, 5, 1.6),   # store 2: the MAX(date) tuple, recompute
+        (4, 12, 2, 1, 1.5),   # store 4: twin extreme tuple, recompute
+    ]),
+}
+
+
+def minmax_step_count(workload: str) -> int:
+    """How many mutation steps the MIN/MAX-deletion workload produces."""
+    from ..conftest import make_items, make_pos, make_stores
+
+    definition_factory, inserts, deletes = MINMAX_WORKLOADS[workload]
+    pos = make_pos(make_stores(), make_items())
+    view, delta, recompute = prepared(
+        pos, definition_factory, inserts, deletes
+    )
+    return refresh_atomically(view, delta, recompute).touched
+
+
+SWEEP_POINTS = [
+    (workload, step)
+    for workload in MINMAX_WORKLOADS
+    for step in range(minmax_step_count(workload))
+]
+
+
+class TestMinMaxDeletionSweepWithObservability:
+    """Satellite sweep: every step of a MIN/MAX-deletion refresh fails once;
+    rollback must be byte-identical and observable as a ``rollback`` span."""
+
+    @pytest.fixture(autouse=True)
+    def isolated_tracing(self, monkeypatch):
+        """Fresh recorder per test, whatever REPRO_TRACE says ambiently."""
+        from repro.obs import tracing
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        previous = tracing.active_recorder()
+        tracing.install_recorder(None)
+        yield
+        tracing.install_recorder(previous)
+
+    @staticmethod
+    def _fresh_pos():
+        from ..conftest import make_items, make_pos, make_stores
+
+        return make_pos(make_stores(), make_items())
+
+    @pytest.mark.parametrize("workload,failing_step", SWEEP_POINTS)
+    def test_rollback_is_byte_identical_and_traced(
+        self, workload, failing_step
+    ):
+        definition_factory, inserts, deletes = MINMAX_WORKLOADS[workload]
+        pos = self._fresh_pos()
+        view, delta, recompute = prepared(
+            pos, definition_factory, inserts, deletes
+        )
+        # Byte-identical means the physical slot layout too, not just the
+        # sorted row multiset: compare the raw slot list.
+        before = list(view.table._rows)  # noqa: SLF001
+
+        def hook(step):
+            if step == failing_step:
+                raise InjectedFailure(f"at step {failing_step}")
+
+        registry().reset()
+        with trace() as recorder:
+            with pytest.raises(InjectedFailure):
+                refresh_atomically(
+                    view, delta, recompute, failure_hook=hook
+                )
+        assert list(view.table._rows) == before  # noqa: SLF001
+
+        rollbacks = recorder.spans("rollback")
+        assert len(rollbacks) == 1
+        rollback = rollbacks[0]
+        assert rollback.tags["view"] == view.name
+        assert rollback.tags["cause"] == "InjectedFailure"
+        assert rollback.counters["rolled_back_steps"] == failing_step
+        assert rollback.counters["undo_entries"] == failing_step
+        # The rollback span sits under the refresh_atomic span, which is
+        # tagged with the error that aborted the refresh.
+        atomic = recorder.spans("refresh_atomic")[0]
+        assert rollback.parent is atomic
+        assert atomic.tags["error"] == "InjectedFailure"
+        assert registry().counter_value("refresh.rollbacks") == 1
+        assert (
+            registry().counter_value("refresh.rolled_back_entries")
+            == failing_step
+        )
+
+    @pytest.mark.parametrize("workload", list(MINMAX_WORKLOADS))
+    def test_sweep_covers_recompute_steps(self, workload):
+        """Each workload must actually exercise MIN/MAX recomputation."""
+        definition_factory, inserts, deletes = MINMAX_WORKLOADS[workload]
+        pos = self._fresh_pos()
+        view, delta, recompute = prepared(
+            pos, definition_factory, inserts, deletes
+        )
+        stats = refresh_atomically(view, delta, recompute)
+        assert stats.recomputed > 0
+        assert_view_matches_recomputation(view)
+
+    def test_store_sweep_mixes_updates_and_recomputes(self):
+        """The store workload exercises both mutation kinds, so the sweep
+        above fails inside updates *and* inside recomputations."""
+        definition_factory, inserts, deletes = MINMAX_WORKLOADS["store"]
+        pos = self._fresh_pos()
+        view, delta, recompute = prepared(
+            pos, definition_factory, inserts, deletes
+        )
+        stats = refresh_atomically(view, delta, recompute)
+        assert stats.updated > 0
+        assert stats.recomputed > 0
+
+    def test_successful_refresh_emits_no_rollback(self):
+        pos = self._fresh_pos()
+        view, delta, recompute = prepared(
+            pos, minmax_definition, [], MINMAX_WORKLOADS["region"][2]
+        )
+        registry().reset()
+        with trace() as recorder:
+            refresh_atomically(view, delta, recompute)
+        assert recorder.spans("rollback") == []
+        assert registry().counter_value("refresh.rollbacks") == 0
+        atomic = recorder.spans("refresh_atomic")[0]
+        assert atomic.counters["undo_entries"] > 0

@@ -1,0 +1,20 @@
+"""Isolate recorder-behaviour tests from the ambient tracing environment.
+
+The observability tests create their own trace blocks and inspect the
+recorded tree, so they must start from a clean slate even when the suite
+runs under ``REPRO_TRACE=1`` (ambient recorder) or ``REPRO_TRACE=0``
+(kill-switch) — both of which the CI smoke does on purpose.
+"""
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def isolated_tracing(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    previous = tracing.active_recorder()
+    tracing.install_recorder(None)
+    yield
+    tracing.install_recorder(previous)

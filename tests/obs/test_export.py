@@ -1,0 +1,93 @@
+"""Trace exporters: JSON lines, the tree printer, the bench summary."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    format_span_tree,
+    span,
+    span_to_dict,
+    trace,
+    trace_summary,
+    write_trace_jsonl,
+)
+
+
+def recorded_tree():
+    with trace() as recorder:
+        with span("propagate", window="online") as p:
+            p.add("delta_rows", 10)
+            with span("group_by", table="pc"):
+                pass
+        with span("refresh", window="offline"):
+            with span("apply", window="offline"):
+                pass
+    return recorder.finish()
+
+
+class TestSpanToDict:
+    def test_shape(self):
+        root = recorded_tree()
+        payload = span_to_dict(root.children[0])
+        assert payload["name"] == "propagate"
+        assert payload["parent_id"] == root.span_id
+        assert payload["tags"] == {"window": "online"}
+        assert payload["counters"] == {"delta_rows": 10}
+        assert payload["seconds"] >= 0
+
+
+class TestJsonl:
+    def test_parents_written_before_children(self, tmp_path):
+        root = recorded_tree()
+        path = write_trace_jsonl(root, tmp_path / "t.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 5
+        seen = set()
+        for record in records:
+            assert record["parent_id"] is None or record["parent_id"] in seen
+            seen.add(record["id"])
+
+    def test_write_is_atomic(self, tmp_path):
+        target = tmp_path / "t.jsonl"
+        target.write_text("previous contents\n")
+        write_trace_jsonl(recorded_tree(), target)
+        assert "previous contents" not in target.read_text()
+        # No stray temp files left behind.
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestTreePrinter:
+    def test_renders_names_tags_counters(self):
+        text = format_span_tree(recorded_tree())
+        assert "propagate" in text
+        assert "window=online" in text
+        assert "delta_rows=10" in text
+        assert "ms" in text
+
+    def test_max_depth_prunes(self):
+        text = format_span_tree(recorded_tree(), max_depth=1)
+        assert "propagate" in text
+        assert "group_by" not in text
+
+
+class TestTraceSummary:
+    def test_window_split_skips_nested_window_spans(self):
+        root = recorded_tree()
+        summary = trace_summary(root, MetricsRegistry())
+        # 'apply' nests inside the offline 'refresh': counted once.
+        refresh = root.find("refresh")
+        assert summary["window"]["offline_s"] == round(refresh.seconds, 6)
+        propagate = root.find("propagate")
+        assert summary["window"]["online_s"] == round(propagate.seconds, 6)
+        assert "apply" not in summary["phases"]
+
+    def test_metrics_merged_when_present(self):
+        reg = MetricsRegistry()
+        reg.counter("propagate.invocations").inc()
+        summary = trace_summary(recorded_tree(), reg)
+        assert summary["metrics"]["counters"]["propagate.invocations"] == 1
+
+    def test_metrics_omitted_when_empty(self):
+        summary = trace_summary(recorded_tree(), MetricsRegistry())
+        assert "metrics" not in summary
+        assert summary["spans"] == 5

@@ -1,0 +1,99 @@
+"""Counters, gauges, histograms, and the process-wide registry."""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.snapshot() == 5
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.snapshot() == 7
+
+
+class TestHistogram:
+    def test_stats(self):
+        histogram = Histogram("h")
+        for value in (1, 10, 100):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 111
+        assert snap["min"] == 1
+        assert snap["max"] == 100
+        assert snap["mean"] == 37.0
+
+    def test_empty_histogram(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["mean"] is None
+
+    def test_overflow_bucket(self):
+        histogram = Histogram("h")
+        histogram.observe(4 ** 30)  # far beyond the largest bound
+        assert histogram.buckets[-1] == 1
+        assert sum(histogram.buckets) == histogram.count
+
+    def test_every_observation_lands_in_exactly_one_bucket(self):
+        histogram = Histogram("h")
+        for value in (0, 1, 2, 4, 5, 16, 17, 1_000_000):
+            histogram.observe(value)
+        assert sum(histogram.buckets) == histogram.count
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_counter_value_absent_is_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("never") == 0
+        reg.counter("seen").inc(3)
+        assert reg.counter_value("seen") == 3
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(3)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 2}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.counter_value("c") == 0
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_process_wide_registry_swap(self):
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert registry() is replacement
+        finally:
+            set_registry(previous)
+        assert registry() is previous

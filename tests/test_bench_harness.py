@@ -1,5 +1,7 @@
 """The Figure 9 harness itself: scaling, measurement, and shape checkers."""
 
+import json
+
 import pytest
 
 from repro.bench import (
@@ -15,7 +17,12 @@ from repro.bench import (
     measure_point,
     scaled,
 )
-from repro.bench.reporting import check_deletions_drop_with_pos_size
+from repro.bench import reporting
+from repro.bench.reporting import (
+    atomic_write_text,
+    check_deletions_drop_with_pos_size,
+    write_bench_json,
+)
 from repro.views import compute_rows
 from repro.workload import (
     RetailConfig,
@@ -127,6 +134,71 @@ class TestFormatting:
         claim = check_maintenance_beats_rematerialization(panel([point()]))
         text = format_claims([claim])
         assert "[REPRODUCED]" in text
+
+
+class TestAtomicWrites:
+    def test_write_replaces_contents(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        result = atomic_write_text(target, "new")
+        assert result == target
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "payload")
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_failure_preserves_previous_contents(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        target.write_text("previous")
+
+        def broken_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(reporting.os, "replace", broken_replace)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_text(target, "partial")
+        assert target.read_text() == "previous"
+        # The temp file was cleaned up rather than stranded.
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestWriteBenchJson:
+    def test_sections_accumulate_across_runs(self, tmp_path):
+        target = tmp_path / "bench.json"
+        write_bench_json("micro", {"speedup": 2.0}, target)
+        write_bench_json("lattice", {"views": 5}, target)
+        data = json.loads(target.read_text())
+        assert data["micro"] == {"speedup": 2.0}
+        assert data["lattice"] == {"views": 5}
+        assert data["schema_version"] == 1
+
+    def test_dict_sections_merge_key_by_key(self, tmp_path):
+        target = tmp_path / "bench.json"
+        write_bench_json("micro", {"a": 1, "b": 2}, target)
+        write_bench_json("micro", {"b": 3, "c": 4}, target)
+        data = json.loads(target.read_text())
+        assert data["micro"] == {"a": 1, "b": 3, "c": 4}
+
+    def test_corrupt_existing_file_is_recovered(self, tmp_path):
+        target = tmp_path / "bench.json"
+        target.write_text("{ not json")
+        write_bench_json("micro", {"a": 1}, target)
+        assert json.loads(target.read_text())["micro"] == {"a": 1}
+
+    def test_interrupted_write_keeps_old_document(self, tmp_path, monkeypatch):
+        target = tmp_path / "bench.json"
+        write_bench_json("micro", {"a": 1}, target)
+        before = target.read_text()
+        monkeypatch.setattr(
+            reporting.os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("interrupted")),
+        )
+        with pytest.raises(OSError):
+            write_bench_json("micro", {"a": 2}, target)
+        assert target.read_text() == before
+        assert json.loads(before)["micro"] == {"a": 1}
 
 
 class TestMeasurePoint:

@@ -58,3 +58,44 @@ class TestCommands:
         # Exit code reflects claim verdicts; at absurdly tiny scale they may
         # legitimately flip, so only the report format is asserted.
         assert code in (0, 1)
+
+    def test_trace_prints_span_tree_and_agrees_with_clock(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        code = main(["trace", "--pos-rows", "2000", "--changes", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nightly" in out
+        assert "propagate" in out
+        assert "refresh:SID_sales" in out
+        assert "batch window from span tags" in out
+        assert "DISAGREE" not in out
+        assert "propagate.invocations" in out
+
+    def test_trace_exports_jsonl(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        target = tmp_path / "trace.jsonl"
+        code = main([
+            "trace", "--pos-rows", "1000", "--changes", "100",
+            "--parallel", "--jsonl", str(target),
+        ])
+        assert code == 0
+        records = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert records[0]["name"] == "trace"
+        names = {record["name"] for record in records}
+        assert "nightly" in names
+        assert any(name.startswith("refresh:") for name in names)
+        by_id = {record["id"]: record for record in records}
+        for record in records[1:]:
+            assert record["parent_id"] in by_id
+
+    def test_trace_refuses_under_kill_switch(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        code = main(["trace", "--pos-rows", "1000", "--changes", "100"])
+        assert code == 1
+        assert "REPRO_TRACE=0" in capsys.readouterr().out
