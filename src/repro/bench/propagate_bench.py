@@ -33,7 +33,12 @@ import time
 from typing import Callable, Sequence
 
 from ..core.propagate import PropagateOptions
-from ..lattice.plan import build_lattice_for_views, propagate_lattice
+from ..lattice.plan import (
+    build_lattice_for_views,
+    effective_level_workers,
+    propagate_lattice,
+    propagation_levels,
+)
 from ..obs import tracing
 from ..relational.aggregation import (
     AggregateSpec,
@@ -188,6 +193,9 @@ def run_lattice(
     parallel_s = _best_of(
         lambda: propagate_lattice(lattice, changes, parallel_options), repeats
     )
+    workers, fallback = effective_level_workers(
+        parallel_options, propagation_levels(lattice)
+    )
     return {
         "pos_rows": pos_rows,
         "change_size": change_size,
@@ -196,6 +204,8 @@ def run_lattice(
         "serial_propagate_s": round(serial_s, 6),
         "level_parallel_propagate_s": round(parallel_s, 6),
         "speedup_level_parallel": round(serial_s / parallel_s, 3),
+        "level_parallel_workers": workers,
+        "level_parallel_fallback": fallback,
     }
 
 

@@ -24,6 +24,25 @@ Commands
     and the span-derived batch-window split, cross-checked against the
     legacy :class:`~repro.warehouse.batch.BatchWindowClock` report.
     ``--jsonl PATH`` additionally exports the trace as JSON lines.
+``explain``
+    Render the maintenance plan *before* running it: propagation levels,
+    each node's derivation source and joins, predicted delta rows and
+    tuple accesses from the cost model (:mod:`repro.lattice.cost`), and
+    the §2.2 with-lattice vs without-lattice comparison.  With
+    ``--execute`` the plan then runs under tracing and the table is
+    re-printed with measured accesses and error percentages;
+    ``--bench-json`` merges that comparison into ``BENCH_propagate.json``.
+``history``
+    List the runs recorded in the persistent run ledger
+    (:mod:`repro.obs.ledger`; enabled via ``REPRO_LEDGER=PATH``).
+``regress``
+    Compare the newest ledger run against a baseline window
+    (median-of-ratios over per-phase times, plus the deterministic
+    tuple-access total).  Exit 1 on a regression, 2 on a schema or usage
+    error, 0 otherwise.
+``metrics``
+    Run one traced maintenance and print the metrics registry, either as
+    JSON or in the Prometheus text exposition format (``--format prom``).
 """
 
 from __future__ import annotations
@@ -255,6 +274,287 @@ def _cmd_bench_propagate(args: argparse.Namespace) -> int:
     return bench_main(forwarded)
 
 
+def _retail_run_inputs(pos_rows: int, change_rows: int, workload: str):
+    """(views, changes) for one synthetic retail maintenance run."""
+    from .workload import (
+        RetailConfig,
+        build_retail_warehouse,
+        generate_retail,
+        insertion_generating_changes,
+        update_generating_changes,
+    )
+
+    data = generate_retail(RetailConfig(pos_rows=pos_rows))
+    warehouse = build_retail_warehouse(data)
+    factory = (
+        insertion_generating_changes if workload == "insert"
+        else update_generating_changes
+    )
+    changes = factory(data.pos, data.config, change_rows, data.rng)
+    return warehouse.views_over("pos"), changes
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.propagate import PropagateOptions
+    from .lattice import (
+        actual_node_accesses,
+        actual_refresh_accesses,
+        build_lattice_for_views,
+        collect_statistics,
+        compare_plan,
+        effective_level_workers,
+        estimate_plan_cost,
+        maintain_lattice,
+    )
+    from .obs import trace
+    from .obs.tracing import trace_kill_switch
+
+    views, changes = _retail_run_inputs(
+        args.pos_rows, args.changes, args.workload
+    )
+    lattice = build_lattice_for_views(views)
+    stats = collect_statistics(lattice, changes, views=views)
+    estimate = estimate_plan_cost(lattice, stats)
+    options = PropagateOptions(
+        parallel=args.parallel, level_parallel=args.parallel
+    )
+    workers, fallback = effective_level_workers(options, estimate.levels)
+
+    print(
+        f"Maintenance plan: {len(views)} summary tables over "
+        f"{len(views[0].definition.fact.table):,} pos rows, "
+        f"{changes.size():,} pending changes ({args.workload} workload)\n"
+    )
+    header = (
+        f"{'node':<12} {'lvl':>3}  {'source':<12} {'joins':<16} "
+        f"{'est.delta':>10} {'est.accesses':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in estimate.order:
+        node = estimate.nodes[name]
+        print(
+            f"{node.name:<12} {node.level:>3}  {node.source:<12} "
+            f"{','.join(node.joins) or '-':<16} "
+            f"{node.delta_rows:>10,.0f} {node.propagate_accesses:>13,.0f}"
+        )
+    print(
+        f"\npropagate with lattice:    "
+        f"{estimate.with_lattice_accesses:>13,.0f} accesses"
+        f"\npropagate without lattice: "
+        f"{estimate.without_lattice_accesses:>13,.0f} accesses"
+        f"  (lattice saves {estimate.lattice_savings_ratio:.2f}x — §2.2)"
+        f"\nrefresh (lower bound):     "
+        f"{estimate.refresh_accesses:>13,.0f} accesses"
+    )
+    if not options.level_parallel:
+        schedule = "serial topological walk"
+    elif fallback:
+        schedule = (
+            "serial topological walk (level-parallel requested, but only "
+            "one effective worker — automatic fallback)"
+        )
+    else:
+        schedule = f"level-parallel, {workers} workers"
+    print(f"schedule: {schedule}")
+
+    if not args.execute:
+        return 0
+    if trace_kill_switch():
+        print(
+            "\ncannot execute under REPRO_TRACE=0: predicted-vs-actual "
+            "needs recorded spans",
+            file=sys.stderr,
+        )
+        return 2
+
+    with trace() as recorder:
+        maintain_lattice(views, changes, options=options, lattice=lattice)
+    root = recorder.finish()
+    rows = compare_plan(estimate, actual_node_accesses(root))
+    refresh_actuals = actual_refresh_accesses(root)
+
+    print("\npredicted vs actual (propagate tuple accesses):")
+    header = (
+        f"{'node':<12} {'predicted':>12} {'actual':>12} "
+        f"{'error':>8} {'ratio':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        error = f"{row.error_pct:+.1f}%" if row.error_pct is not None else "-"
+        ratio = f"{row.ratio:.2f}" if row.ratio is not None else "-"
+        print(
+            f"{row.name:<12} {row.predicted:>12,.0f} {row.actual:>12,.0f} "
+            f"{error:>8} {ratio:>6}"
+        )
+    measured_refresh = sum(refresh_actuals.values())
+    print(
+        f"refresh: predicted lower bound "
+        f"{estimate.refresh_accesses:,.0f}, measured "
+        f"{measured_refresh:,.0f} accesses (gap = MIN/MAX recompute scans)"
+    )
+
+    if args.bench_json is not None:
+        from .bench.reporting import write_bench_json
+
+        payload = {
+            "workload": args.workload,
+            "pos_rows": args.pos_rows,
+            "change_rows": args.changes,
+            "nodes": {
+                row.name: {
+                    "predicted": row.predicted,
+                    "actual": row.actual,
+                    "error_pct": row.error_pct,
+                }
+                for row in rows
+            },
+            "predicted_with_lattice": estimate.with_lattice_accesses,
+            "predicted_without_lattice": estimate.without_lattice_accesses,
+        }
+        target = write_bench_json(
+            "predicted_vs_actual", payload,
+            path=args.bench_json or None,
+        )
+        print(f"predicted_vs_actual merged into {target}")
+    return 0
+
+
+def _ledger_from_args(args: argparse.Namespace):
+    from .obs.ledger import LEDGER_ENV_VAR, RunLedger
+
+    path = args.ledger or os.environ.get(LEDGER_ENV_VAR, "").strip()
+    if not path:
+        print(
+            f"no ledger: pass --ledger PATH or set {LEDGER_ENV_VAR}",
+            file=sys.stderr,
+        )
+        return None
+    return RunLedger(path)
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    ledger = _ledger_from_args(args)
+    if ledger is None:
+        return 2
+    try:
+        records = ledger.records()
+    except (OSError, ValueError) as exc:
+        print(f"cannot read ledger: {exc}", file=sys.stderr)
+        return 2
+    if args.kind:
+        records = [r for r in records if r.get("kind") == args.kind]
+    if not records:
+        print("no recorded runs")
+        return 0
+    header = (
+        f"{'run':>4}  {'when':<19} {'kind':<16} {'online':>8} "
+        f"{'offline':>8} {'accesses':>10} {'views':>5} {'changes':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for record in records[-args.limit:]:
+        when = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(record.get("ts", 0))
+        )
+        access = record.get("access") or {}
+        changes = record.get("changes") or {}
+        n_changes = sum(changes.values())
+        print(
+            f"{record.get('run_id', '?'):>4}  {when:<19} "
+            f"{record.get('kind', '?'):<16} "
+            f"{record.get('online_s', 0.0):>8.3f} "
+            f"{record.get('offline_s', 0.0):>8.3f} "
+            f"{access.get('total', 0):>10,} "
+            f"{len(record.get('views') or {}):>5} {n_changes:>8,}"
+        )
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    from .obs.ledger import detect_regression
+
+    ledger = _ledger_from_args(args)
+    if ledger is None:
+        return 2
+    try:
+        records = ledger.records()
+    except (OSError, ValueError) as exc:
+        print(f"cannot read ledger: {exc}", file=sys.stderr)
+        return 2
+    kind = args.kind
+    if kind is None and records:
+        # By default judge the newest run against runs of its own kind.
+        kind = records[-1].get("kind")
+    try:
+        report = detect_regression(
+            records,
+            window=args.window,
+            time_threshold=args.time_threshold,
+            access_threshold=args.access_threshold,
+            kind=kind,
+        )
+    except ValueError as exc:
+        print(f"cannot judge: {exc}")
+        return 0
+    print(
+        f"run {report.run_id} vs baseline runs "
+        f"{list(report.baseline_ids)} (kind={kind}):"
+    )
+    for finding in report.findings:
+        verdict = "REGRESSED" if finding.regressed else "ok"
+        print(f"  [{verdict}] {finding.metric}: ratio {finding.ratio:.3f}")
+    if report.regressed:
+        print("verdict: REGRESSION")
+        return 1
+    print("verdict: no regression")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import prometheus_text, registry, trace
+    from .obs.tracing import trace_kill_switch
+    from .warehouse.nightly import run_nightly_maintenance
+    from .workload import (
+        RetailConfig,
+        build_retail_warehouse,
+        generate_retail,
+        update_generating_changes,
+    )
+
+    if trace_kill_switch():
+        print(
+            "tracing is disabled by REPRO_TRACE=0; the metrics registry "
+            "only fills while tracing is enabled",
+            file=sys.stderr,
+        )
+        return 2
+
+    data = generate_retail(RetailConfig(pos_rows=args.pos_rows))
+    warehouse = build_retail_warehouse(data)
+    staged = update_generating_changes(
+        data.pos, data.config, args.changes, data.rng
+    )
+    pending = warehouse.pending_changes("pos")
+    for row in staged.insertions.scan():
+        pending.insert(row)
+    for row in staged.deletions.scan():
+        pending.delete(row)
+
+    registry().reset()
+    with trace():
+        run_nightly_maintenance(warehouse)
+
+    if args.format == "prom":
+        sys.stdout.write(prometheus_text(registry()))
+    else:
+        print(json.dumps(registry().snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -317,6 +617,66 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--jsonl", default=None, metavar="PATH",
                        help="also export the trace as JSON lines")
     trace.set_defaults(func=_cmd_trace)
+
+    explain = sub.add_parser(
+        "explain",
+        help="show the maintenance plan with predicted tuple accesses",
+    )
+    explain.add_argument("--pos-rows", type=int, default=50_000)
+    explain.add_argument("--changes", type=int, default=5_000)
+    explain.add_argument("--workload", choices=["update", "insert"],
+                         default="update")
+    explain.add_argument("--parallel", action="store_true",
+                         help="plan for the parallel engine (affects only "
+                              "the schedule line; costs are identical)")
+    explain.add_argument("--execute", action="store_true",
+                         help="run the plan under tracing and print "
+                              "predicted-vs-actual accesses")
+    explain.add_argument("--bench-json", nargs="?", const="", default=None,
+                         metavar="PATH",
+                         help="with --execute: merge the comparison into "
+                              "the benchmark JSON (default path when no "
+                              "PATH given)")
+    explain.set_defaults(func=_cmd_explain)
+
+    history = sub.add_parser(
+        "history", help="list runs recorded in the run ledger"
+    )
+    history.add_argument("--ledger", default=None, metavar="PATH",
+                         help="ledger file (default: $REPRO_LEDGER)")
+    history.add_argument("--limit", type=int, default=20)
+    history.add_argument("--kind", default=None,
+                         help="only show runs of this kind")
+    history.set_defaults(func=_cmd_history)
+
+    regress = sub.add_parser(
+        "regress",
+        help="compare the newest ledger run against a baseline window",
+    )
+    regress.add_argument("--ledger", default=None, metavar="PATH",
+                         help="ledger file (default: $REPRO_LEDGER)")
+    regress.add_argument("--window", type=int, default=5,
+                         help="baseline runs to compare against")
+    regress.add_argument("--time-threshold", type=float, default=1.5,
+                         help="median-of-ratios phase-time ratio that "
+                              "counts as a regression")
+    regress.add_argument("--access-threshold", type=float, default=1.05,
+                         help="tuple-access ratio that counts as a "
+                              "regression")
+    regress.add_argument("--kind", default=None,
+                         help="judge against runs of this kind (default: "
+                              "the newest run's kind)")
+    regress.set_defaults(func=_cmd_regress)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="print the metrics registry after one traced maintenance",
+    )
+    metrics.add_argument("--pos-rows", type=int, default=5_000)
+    metrics.add_argument("--changes", type=int, default=500)
+    metrics.add_argument("--format", choices=["json", "prom"],
+                         default="json")
+    metrics.set_defaults(func=_cmd_metrics)
 
     return parser
 

@@ -21,7 +21,10 @@ This is the paper's Section 5.5 put together:
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -30,10 +33,13 @@ from ..core.maintenance import base_recompute_fn
 from ..core.propagate import PropagateOptions, compute_summary_delta
 from ..core.refresh import RefreshStats, RefreshVariant, refresh
 from ..obs import tracing
+from ..obs.ledger import active_ledger
 from ..errors import LatticeError, MaintenanceError
+from ..relational.stats import measuring
 from ..views.materialize import MaterializedView, compute_rows
 from ..warehouse.batch import BatchReport, BatchWindowClock
 from ..warehouse.changes import ChangeSet
+from .cost import PlanCostEstimate, collect_statistics, estimate_plan_cost
 from .vlattice import ViewLattice
 
 
@@ -77,6 +83,26 @@ def propagation_levels(lattice: ViewLattice) -> list[list[str]]:
     return levels
 
 
+def effective_level_workers(
+    options: PropagateOptions, levels: Sequence[Sequence[str]]
+) -> tuple[int, bool]:
+    """The worker count a level-parallel walk would use, and whether the
+    schedule should fall back to the serial topological walk.
+
+    With no explicit ``max_workers`` the pool is capped at the CPU count:
+    same-level node computations are pure-CPU folds, so threads beyond
+    cores only add dispatch overhead (the ``lattice`` section of
+    ``BENCH_propagate.json`` recorded level-parallel as a net *slowdown* on
+    a 1-CPU container before this fallback existed).  One effective worker
+    means no overlap is possible, so the serial walk — identical deltas,
+    zero dispatch overhead — is the right schedule.
+    """
+    widest = max((len(level) for level in levels), default=1)
+    requested = options.max_workers or os.cpu_count() or 1
+    workers = max(1, min(requested, widest))
+    return workers, workers <= 1
+
+
 def propagate_lattice(
     lattice: ViewLattice,
     changes: ChangeSet,
@@ -94,6 +120,11 @@ def propagate_lattice(
     node still records its own ``propagate:<name>`` phase on *clock*
     (concurrent phases overlap in wall-clock time, as in any parallel
     schedule).
+
+    When :func:`effective_level_workers` reports a single effective worker
+    the walk automatically falls back to the serial schedule; the decision
+    is tagged on the ``propagate`` span (``level_parallel_fallback``) so a
+    trace — and ``repro explain`` — shows which schedule actually ran.
     """
     clock = clock or BatchWindowClock()
     deltas: dict[str, SummaryDelta] = {}
@@ -101,6 +132,8 @@ def propagate_lattice(
     depth_of = {
         name: depth for depth, level in enumerate(levels) for name in level
     }
+    workers, fallback = effective_level_workers(options, levels)
+    run_level_parallel = options.level_parallel and not fallback
 
     def compute(name: str,
                 parent_span: "tracing.Span | None" = None) -> SummaryDelta:
@@ -123,16 +156,15 @@ def propagate_lattice(
 
     with tracing.span(
         "propagate", views=len(lattice.order),
-        level_parallel=options.level_parallel,
-    ):
-        if not options.level_parallel:
+        level_parallel=run_level_parallel,
+    ) as propagate_span:
+        if options.level_parallel and fallback:
+            propagate_span.set_tag("level_parallel_fallback", "single-worker")
+        if not run_level_parallel:
             for name in lattice.order:
                 deltas[name] = compute(name)
             return deltas
 
-        workers = options.max_workers or max(
-            (len(level) for level in levels), default=1
-        )
         with ThreadPoolExecutor(max_workers=workers) as pool:
             for depth, level in enumerate(levels):
                 with tracing.span(
@@ -252,38 +284,135 @@ def maintain_lattice(
     clock = clock or BatchWindowClock()
     views_by_name = {view.name: view for view in views}
 
-    if use_lattice:
-        if lattice is None:
-            definitions = [view.definition for view in views]
-            size_hints = {view.name: len(view.table) for view in views}
-            for definition in auxiliary:
-                resolved = (
-                    definition if definition.is_resolved()
-                    else definition.resolved()
-                )
-                if resolved.name in views_by_name:
-                    raise MaintenanceError(
-                        f"auxiliary node {resolved.name!r} clashes with a "
-                        "materialised view"
+    ledger = active_ledger()
+    phase_mark = len(clock.report.phases)
+    estimate: PlanCostEstimate | None = None
+    change_counts = {
+        "insertions": len(changes.insertions),
+        "deletions": len(changes.deletions),
+    }
+    with ExitStack() as scope:
+        if ledger is not None:
+            access = scope.enter_context(measuring())
+            access_before = access.snapshot()
+
+        if use_lattice:
+            if lattice is None:
+                definitions = [view.definition for view in views]
+                size_hints = {view.name: len(view.table) for view in views}
+                for definition in auxiliary:
+                    resolved = (
+                        definition if definition.is_resolved()
+                        else definition.resolved()
                     )
-                definitions.append(resolved)
-            lattice = ViewLattice.build(definitions, size_hints=size_hints)
-        deltas = propagate_lattice(lattice, changes, options, clock)
-        deltas = {
-            name: delta for name, delta in deltas.items()
-            if name in views_by_name
-        }
-    else:
-        deltas = propagate_without_lattice(
-            [view.definition for view in views], changes, options, clock
+                    if resolved.name in views_by_name:
+                        raise MaintenanceError(
+                            f"auxiliary node {resolved.name!r} clashes with a "
+                            "materialised view"
+                        )
+                    definitions.append(resolved)
+                lattice = ViewLattice.build(definitions, size_hints=size_hints)
+            if ledger is not None:
+                # Predict before anything runs: table sizes and pending
+                # changes are exactly what the plan will see.
+                estimate = estimate_plan_cost(
+                    lattice, collect_statistics(lattice, changes, views=views)
+                )
+            deltas = propagate_lattice(lattice, changes, options, clock)
+            deltas = {
+                name: delta for name, delta in deltas.items()
+                if name in views_by_name
+            }
+        else:
+            deltas = propagate_without_lattice(
+                [view.definition for view in views], changes, options, clock
+            )
+
+        if apply_base_changes:
+            with clock.offline("apply-base", fact=fact.name):
+                changes.apply_to(views[0].definition.fact.table)
+
+        stats = refresh_lattice(views_by_name, deltas, variant, clock)
+        result = LatticeMaintenanceResult(
+            deltas=deltas, stats=stats, report=clock.report
         )
+        if ledger is not None:
+            ledger.append(maintenance_record(
+                kind="maintain_lattice",
+                options=options,
+                use_lattice=use_lattice,
+                variant=variant,
+                phases=clock.report.phases[phase_mark:],
+                access=access.since(access_before),
+                stats=stats,
+                change_counts=change_counts,
+                estimate=estimate,
+            ))
+    return result
 
-    if apply_base_changes:
-        with clock.offline("apply-base", fact=fact.name):
-            changes.apply_to(views[0].definition.fact.table)
 
-    stats = refresh_lattice(views_by_name, deltas, variant, clock)
-    return LatticeMaintenanceResult(deltas=deltas, stats=stats, report=clock.report)
+def engine_config(
+    options: PropagateOptions, use_lattice: bool, variant: RefreshVariant
+) -> dict:
+    """The engine configuration as plain data (the ledger's ``engine``)."""
+    config = dataclasses.asdict(options)
+    config["policy"] = options.policy.value
+    config["use_lattice"] = use_lattice
+    config["variant"] = variant.value
+    return config
+
+
+def maintenance_record(
+    kind: str,
+    options: PropagateOptions,
+    use_lattice: bool,
+    variant: RefreshVariant,
+    phases: Sequence,
+    access,
+    stats: Mapping[str, RefreshStats],
+    change_counts: Mapping[str, int],
+    estimate: PlanCostEstimate | None,
+) -> dict:
+    """Build one run-ledger record (see :mod:`repro.obs.ledger` for the
+    schema).  Only depth-0 phases are recorded — nested phases would
+    double-count the window, exactly as in :class:`BatchReport`."""
+    top_level = [phase for phase in phases if phase.depth == 0]
+    record = {
+        "kind": kind,
+        "engine": engine_config(options, use_lattice, variant),
+        "phases": [
+            {"name": p.name, "seconds": p.seconds, "offline": p.offline}
+            for p in top_level
+        ],
+        "online_s": sum(p.seconds for p in top_level if not p.offline),
+        "offline_s": sum(p.seconds for p in top_level if p.offline),
+        "access": access.as_dict() if access is not None else None,
+        "views": {
+            name: {
+                "delta_rows": s.delta_rows,
+                "inserted": s.inserted,
+                "updated": s.updated,
+                "deleted": s.deleted,
+                "recomputed": s.recomputed,
+            }
+            for name, s in sorted(stats.items())
+        },
+        "changes": dict(change_counts),
+        "predictions": None,
+        "predicted_with_lattice": None,
+        "predicted_without_lattice": None,
+    }
+    if estimate is not None:
+        record["predictions"] = {
+            node.name: {
+                "propagate_accesses": node.propagate_accesses,
+                "delta_rows": node.delta_rows,
+            }
+            for node in estimate.nodes.values()
+        }
+        record["predicted_with_lattice"] = estimate.with_lattice_accesses
+        record["predicted_without_lattice"] = estimate.without_lattice_accesses
+    return record
 
 
 def rematerialize_with_lattice(

@@ -21,12 +21,22 @@ Quick use::
     print(format_span_tree(recorder.root))
 """
 
-from . import export, metrics, tracing
+from . import export, ledger, metrics, tracing
 from .export import (
     format_span_tree,
+    prometheus_text,
     span_to_dict,
     trace_summary,
     write_trace_jsonl,
+)
+from .ledger import (
+    RegressionFinding,
+    RegressionReport,
+    RunLedger,
+    active_ledger,
+    detect_regression,
+    set_ledger,
+    suspended_ledger,
 )
 from .metrics import (
     Counter,
@@ -57,17 +67,25 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullRecorder",
+    "RegressionFinding",
+    "RegressionReport",
+    "RunLedger",
     "Span",
     "TraceRecorder",
+    "active_ledger",
     "active_recorder",
     "current_span",
+    "detect_regression",
     "enabled",
     "format_span_tree",
     "install_recorder",
+    "prometheus_text",
     "registry",
+    "set_ledger",
     "set_registry",
     "span",
     "span_to_dict",
+    "suspended_ledger",
     "trace",
     "trace_kill_switch",
     "trace_summary",

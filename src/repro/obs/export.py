@@ -25,6 +25,7 @@ from .tracing import Span
 
 __all__ = [
     "format_span_tree",
+    "prometheus_text",
     "span_to_dict",
     "trace_summary",
     "write_trace_jsonl",
@@ -150,3 +151,59 @@ def trace_summary(
     if any(snapshot.values()):
         summary["metrics"] = snapshot
     return summary
+
+
+def _prom_name(name: str) -> str:
+    """A dotted metric name as a Prometheus metric name.
+
+    Dots (and anything else outside ``[a-zA-Z0-9_]``) become underscores,
+    and everything gets the ``repro_`` namespace prefix:
+    ``refresh.actions.update`` → ``repro_refresh_actions_update``.
+    """
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _prom_value(value: int | float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(metrics: MetricsRegistry | None = None) -> str:
+    """The registry in the Prometheus text exposition format (version
+    0.0.4 — what a file-based or pushgateway scrape expects).
+
+    Counters render as ``counter`` samples, gauges as ``gauge``, and
+    histograms in the standard three-part shape: cumulative ``_bucket``
+    samples with ``le`` labels (including the mandatory ``le="+Inf"``),
+    then ``_sum`` and ``_count``.
+    """
+    counters, gauges, histograms = (metrics or registry()).all_metrics()
+    lines: list[str] = []
+    for counter in counters:
+        name = _prom_name(counter.name)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_prom_value(counter.value)}")
+    for gauge in gauges:
+        name = _prom_name(gauge.name)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_prom_value(gauge.value)}")
+    for histogram in histograms:
+        name = _prom_name(histogram.name)
+        lines.append(f"# TYPE {name} histogram")
+        for bound, cumulative in histogram.cumulative_buckets():
+            lines.append(
+                f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{name}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{name}_count {histogram.count}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,360 @@
+"""The persistent run ledger: every maintenance run leaves a record.
+
+One maintenance run is one JSON line appended to a ledger file —
+per-phase durations, tuple accesses, per-view refresh counters, the cost
+model's predictions, and the engine configuration.  Across nights the
+file accumulates the warehouse's maintenance *trajectory*, which is what
+turns the Figure 9 reproduction from a one-shot benchmark into something
+auditable: ``repro history`` lists the runs, ``repro regress`` compares
+the newest run against a baseline window and flags regressions.
+
+Appends are crash- and concurrency-safe: each append takes an exclusive
+inter-process lock on a ``<ledger>.lock`` sibling (``fcntl.flock`` where
+available), re-reads the current contents, and rewrites the whole file
+through :func:`~repro.bench.reporting.atomic_write_text` — so a reader
+or a crashed writer can never observe a truncated line, and concurrent
+appenders serialise instead of interleaving.
+
+The ledger is **off by default**.  Two ways to turn it on:
+
+* ``REPRO_LEDGER=/path/to/ledger.jsonl`` in the environment — every
+  ``maintain_lattice`` / ``run_nightly_maintenance`` call records itself
+  (how the CI smoke builds its artifact);
+* :func:`set_ledger` with a :class:`RunLedger` — for embedders and tests.
+
+Record schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "run_id": 7,                  # 1-based position in this ledger
+      "ts": 1754500000.0,           # epoch seconds at append time
+      "kind": "maintain_lattice",   # or "nightly"
+      "engine": {...},              # PropagateOptions + use_lattice
+      "phases": [{"name", "seconds", "offline"}, ...],   # depth-0 only
+      "online_s": ..., "offline_s": ...,
+      "access": {"rows_scanned": ..., ..., "total": ...} | null,
+      "views": {"<view>": {"delta_rows", "inserted", "updated",
+                            "deleted", "recomputed"}, ...},
+      "changes": {"insertions": n, "deletions": n},
+      "predictions": {"<view>": {"propagate_accesses", "delta_rows"},
+                       ...} | null,
+      "predicted_with_lattice": ..., "predicted_without_lattice": ...
+    }
+
+(``access`` is present whenever the run recorded itself — the drivers
+open a :func:`~repro.relational.stats.measuring` block around the run
+when a ledger is active.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from statistics import median
+from typing import Any, Iterator
+
+try:  # POSIX; on other platforms appends fall back to thread-level locking
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "LEDGER_ENV_VAR",
+    "LEDGER_SCHEMA_VERSION",
+    "RegressionFinding",
+    "RegressionReport",
+    "RunLedger",
+    "active_ledger",
+    "detect_regression",
+    "set_ledger",
+    "suspended_ledger",
+]
+
+LEDGER_SCHEMA_VERSION = 1
+
+#: Environment variable naming the ledger file maintenance runs append to.
+LEDGER_ENV_VAR = "REPRO_LEDGER"
+
+
+class RunLedger:
+    """An append-only JSONL file of maintenance-run records."""
+
+    def __init__(self, path: pathlib.Path | str):
+        self.path = pathlib.Path(path)
+        self._thread_lock = threading.Lock()
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> dict[str, Any]:
+        """Append one record; returns it with ``run_id``/``ts``/
+        ``schema_version`` filled in.
+
+        The whole read-extend-rewrite happens under an exclusive file
+        lock, so concurrent appenders (threads or processes) each land a
+        complete line and ``run_id`` stays a gapless 1-based sequence.
+        """
+        # Imported here, not at module level: the maintenance drivers pull
+        # this module in, and repro.bench sits above them in the layering
+        # (bench.figure9 imports the drivers).
+        from ..bench.reporting import atomic_write_text
+
+        with self._thread_lock, self._file_lock():
+            existing = self._read_lines()
+            stamped = dict(record)
+            stamped.setdefault("schema_version", LEDGER_SCHEMA_VERSION)
+            stamped["run_id"] = len(existing) + 1
+            stamped.setdefault("ts", time.time())
+            existing.append(json.dumps(stamped, sort_keys=True))
+            atomic_write_text(self.path, "\n".join(existing) + "\n")
+            return stamped
+
+    def _file_lock(self):
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        return _FileLock(lock_path)
+
+    def _read_lines(self) -> list[str]:
+        if not self.path.exists():
+            return []
+        text = self.path.read_text()
+        return [line for line in text.splitlines() if line.strip()]
+
+    # -- reading -------------------------------------------------------
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every record, oldest first.  Raises ``ValueError`` on a
+        malformed line — a corrupt ledger should fail loudly, not be
+        silently skipped."""
+        out = []
+        for number, line in enumerate(self._read_lines(), start=1):
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{self.path}: line {number} is not valid JSON: {exc}"
+                ) from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{self.path}: line {number} is not a JSON object"
+                )
+            out.append(record)
+        return out
+
+    def tail(self, n: int) -> list[dict[str, Any]]:
+        return self.records()[-n:]
+
+    def __len__(self) -> int:
+        return len(self._read_lines())
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records())
+
+
+class _FileLock:
+    """Exclusive advisory lock on a sibling lockfile (no-op without fcntl)."""
+
+    def __init__(self, path: pathlib.Path):
+        self._path = path
+        self._handle = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            self._handle = open(self._path, "a+")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+        return False
+
+
+#: Explicitly installed ledger (overrides the environment variable).
+_active: RunLedger | None = None
+
+#: Suspension depth — while positive, :func:`active_ledger` reports None.
+_suspended = 0
+
+
+def set_ledger(ledger: RunLedger | None) -> RunLedger | None:
+    """Install (or with ``None``, clear) the process-wide ledger; returns
+    the previous one.  An installed ledger takes precedence over
+    ``REPRO_LEDGER``."""
+    global _active
+    previous = _active
+    _active = ledger
+    return previous
+
+
+def active_ledger() -> RunLedger | None:
+    """The ledger maintenance runs should record to, or ``None``.
+
+    Checked per *run*, so exporting ``REPRO_LEDGER`` mid-process works.
+    """
+    if _suspended > 0:
+        return None
+    if _active is not None:
+        return _active
+    path = os.environ.get(LEDGER_ENV_VAR, "").strip()
+    if path:
+        return RunLedger(path)
+    return None
+
+
+@contextmanager
+def suspended_ledger() -> Iterator[None]:
+    """Disable run recording for the duration of the block.
+
+    A driver that calls another recording driver uses this so one run
+    appends exactly one record — ``run_nightly_maintenance`` suspends
+    around its per-fact ``maintain_lattice`` calls and appends a single
+    warehouse-wide ``nightly`` record.  Works for both installed and
+    ``REPRO_LEDGER``-driven ledgers.
+    """
+    global _suspended
+    _suspended += 1
+    try:
+        yield
+    finally:
+        _suspended -= 1
+
+
+# ----------------------------------------------------------------------
+# Regression detection
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One metric's comparison against the baseline window."""
+
+    metric: str
+    current: float
+    baseline: float
+    ratio: float
+    regressed: bool
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of comparing the newest run against a baseline window."""
+
+    run_id: int
+    baseline_ids: tuple[int, ...]
+    findings: tuple[RegressionFinding, ...]
+    #: Median of the per-phase time ratios — the headline verdict number.
+    phase_ratio_median: float | None
+
+    @property
+    def regressed(self) -> bool:
+        return any(finding.regressed for finding in self.findings)
+
+
+def _phase_seconds(record: dict[str, Any]) -> dict[str, float]:
+    return {
+        phase["name"]: float(phase["seconds"])
+        for phase in record.get("phases", ())
+    }
+
+
+def _access_total(record: dict[str, Any]) -> float | None:
+    access = record.get("access")
+    if not isinstance(access, dict):
+        return None
+    total = access.get("total")
+    return float(total) if total is not None else None
+
+
+def detect_regression(
+    records: list[dict[str, Any]],
+    window: int = 5,
+    time_threshold: float = 1.5,
+    access_threshold: float = 1.05,
+    kind: str | None = None,
+) -> RegressionReport:
+    """Compare the newest record against the median of its predecessors.
+
+    *Phase times* are noisy, so they get the noise-resistant treatment
+    the benchmarks use: each phase's ratio is taken against the
+    *median* of that phase across the baseline window, and the verdict
+    ratio is the **median of those per-phase ratios** — one slow phase
+    (or one GC pause) cannot flag the run; a systemic slowdown will.
+    A phase-time regression needs the median ratio to exceed
+    *time_threshold* (default: 1.5×).
+
+    *Tuple accesses* are deterministic for a fixed workload, so their
+    threshold is tight (default: 1.05×) and each compared directly
+    against the baseline median.
+
+    *kind* restricts the comparison to records of one kind (a
+    ``maintain_lattice`` run must not be baselined against ``nightly``
+    records).  Raises ``ValueError`` when fewer than two comparable
+    records exist.
+    """
+    if kind is not None:
+        records = [r for r in records if r.get("kind") == kind]
+    if len(records) < 2:
+        raise ValueError(
+            "regression detection needs a current run plus at least one "
+            f"baseline record ({len(records)} comparable record(s) found)"
+        )
+    current = records[-1]
+    baseline = records[-1 - window:-1]
+
+    findings: list[RegressionFinding] = []
+
+    current_phases = _phase_seconds(current)
+    phase_ratios: list[float] = []
+    for name, seconds in sorted(current_phases.items()):
+        history = [
+            _phase_seconds(record).get(name)
+            for record in baseline
+        ]
+        history = [value for value in history if value]
+        if not history or seconds <= 0:
+            continue
+        base = median(history)
+        if base <= 0:
+            continue
+        phase_ratios.append(seconds / base)
+    phase_ratio_median: float | None = None
+    if phase_ratios:
+        phase_ratio_median = median(phase_ratios)
+        findings.append(RegressionFinding(
+            metric="phase_seconds(median-of-ratios)",
+            current=sum(current_phases.values()),
+            baseline=float("nan"),
+            ratio=phase_ratio_median,
+            regressed=phase_ratio_median > time_threshold,
+        ))
+
+    current_access = _access_total(current)
+    access_history = [
+        value for value in (_access_total(record) for record in baseline)
+        if value is not None and value > 0
+    ]
+    if current_access is not None and access_history:
+        base = median(access_history)
+        ratio = current_access / base
+        findings.append(RegressionFinding(
+            metric="access_total",
+            current=current_access,
+            baseline=base,
+            ratio=ratio,
+            regressed=ratio > access_threshold,
+        ))
+
+    return RegressionReport(
+        run_id=int(current.get("run_id", len(records))),
+        baseline_ids=tuple(
+            int(record.get("run_id", index + 1))
+            for index, record in enumerate(baseline)
+        ),
+        findings=tuple(findings),
+        phase_ratio_median=phase_ratio_median,
+    )

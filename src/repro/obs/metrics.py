@@ -21,6 +21,7 @@ import threading
 from typing import Any
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -73,6 +74,9 @@ class Gauge:
 #: waits are recorded in microseconds-as-floats.
 _BUCKET_BOUNDS = tuple(4 ** k for k in range(12))
 
+#: Public view of the histogram bucket upper bounds (exporters need them).
+BUCKET_BOUNDS = _BUCKET_BOUNDS
+
 
 class Histogram:
     """A fixed-bucket histogram with count/sum/min/max.
@@ -109,6 +113,17 @@ class Histogram:
     @property
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative buckets: ``(upper_bound, count of
+        observations <= upper_bound)``, ending with ``(inf, count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, in_bucket in zip(_BUCKET_BOUNDS, self.buckets):
+            running += in_bucket
+            out.append((float(bound), running))
+        out.append((float("inf"), self.count))
+        return out
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -149,6 +164,15 @@ class MetricsRegistry:
             if metric is None:
                 metric = self._histograms[name] = Histogram(name)
             return metric
+
+    def all_metrics(self) -> tuple[list[Counter], list[Gauge], list[Histogram]]:
+        """Name-sorted live metric objects (exporters walk these)."""
+        with self._lock:
+            return (
+                [self._counters[k] for k in sorted(self._counters)],
+                [self._gauges[k] for k in sorted(self._gauges)],
+                [self._histograms[k] for k in sorted(self._histograms)],
+            )
 
     def counter_value(self, name: str) -> int | float:
         """The counter's value, 0 when it was never touched."""

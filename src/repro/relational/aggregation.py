@@ -250,12 +250,18 @@ def _finalize(
 
 def _scanned_rows(table: Table) -> list[tuple]:
     """Materialise the table's live rows, charging the scan to the active
-    access-stats collector in one step (the aggregation loops below always
-    consume every row, so bulk accounting matches per-row accounting)."""
+    access-stats collector and span in one step (the aggregation loops below
+    always consume every row, so bulk accounting matches per-row
+    accounting).  Charging the span keeps span-subtree access totals equal
+    to the :class:`~repro.relational.stats.AccessStats` totals, which the
+    cost model's predicted-vs-actual join relies on."""
     rows = table.rows()
     stats = collector()
     if stats is not None:
-        stats.rows_scanned += len(rows)
+        stats.add("rows_scanned", len(rows))
+    span = tracing.current_span()
+    if span is not None:
+        span.add("rows_scanned", len(rows))
     return rows
 
 

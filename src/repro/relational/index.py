@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from ..errors import TableError
+from ..obs.tracing import current_span
 from .stats import collector
 
 
@@ -86,7 +87,10 @@ class HashIndex:
         """Return the row slots whose key equals *key* (empty when absent)."""
         stats = collector()
         if stats is not None:
-            stats.index_lookups += 1
+            stats.add("index_lookups")
+        span = current_span()
+        if span is not None:
+            span.add("index_lookups")
         return self._buckets.get(key, [])
 
     def lookup_one(self, key: tuple[Any, ...]) -> int | None:
@@ -98,7 +102,10 @@ class HashIndex:
         """
         stats = collector()
         if stats is not None:
-            stats.index_lookups += 1
+            stats.add("index_lookups")
+        span = current_span()
+        if span is not None:
+            span.add("index_lookups")
         bucket = self._buckets.get(key)
         if bucket is None:
             return None

@@ -10,6 +10,16 @@ Accounting is off by default and costs one branch per *operation* (not per
 row) when disabled: ``Table.scan`` wraps its iterator only while a
 :func:`measuring` block is active.
 
+The collector is shared process-wide, and the engine's parallel paths
+(level-parallel lattice propagation, ``group_by_chunked`` on the thread
+backend) charge it from worker threads concurrently, so every charge goes
+through :meth:`AccessStats.add`, which serialises the read-modify-write
+under a lock.  Bare ``stats.rows_scanned += n`` from instrumented code
+would silently lose increments under thread interleaving — an undercount,
+not a crash — which is exactly the failure mode the lock exists to prevent.
+Charges happen per operation, never per row, so the lock is uncontended in
+practice.
+
 Usage::
 
     from repro.relational.stats import measuring
@@ -21,9 +31,20 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
+
+#: The counter attributes of :class:`AccessStats`, in canonical order.
+#: Their sum is the paper's "tuple accesses" unit.
+ACCESS_FIELDS = (
+    "rows_scanned",
+    "rows_inserted",
+    "rows_deleted",
+    "rows_updated",
+    "index_lookups",
+)
 
 
 @dataclass
@@ -35,6 +56,14 @@ class AccessStats:
     rows_deleted: int = 0
     rows_updated: int = 0
     index_lookups: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(self, counter: str, n: int = 1) -> None:
+        """Accumulate *n* into the named counter, safely across threads."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
 
     @property
     def total_accesses(self) -> int:
@@ -47,13 +76,29 @@ class AccessStats:
         )
 
     def snapshot(self) -> "AccessStats":
-        return AccessStats(
-            rows_scanned=self.rows_scanned,
-            rows_inserted=self.rows_inserted,
-            rows_deleted=self.rows_deleted,
-            rows_updated=self.rows_updated,
-            index_lookups=self.index_lookups,
-        )
+        with self._lock:
+            return AccessStats(
+                rows_scanned=self.rows_scanned,
+                rows_inserted=self.rows_inserted,
+                rows_deleted=self.rows_deleted,
+                rows_updated=self.rows_updated,
+                index_lookups=self.index_lookups,
+            )
+
+    def since(self, before: "AccessStats") -> "AccessStats":
+        """The accesses accumulated after *before* was snapshotted."""
+        now = self.snapshot()
+        return AccessStats(**{
+            name: getattr(now, name) - getattr(before, name)
+            for name in ACCESS_FIELDS
+        })
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-data form (the ledger's ``access`` block)."""
+        frozen = self.snapshot()
+        data = {name: getattr(frozen, name) for name in ACCESS_FIELDS}
+        data["total"] = frozen.total_accesses
+        return data
 
 
 #: The active collector, or None when accounting is off.

@@ -66,7 +66,7 @@ class Table:
         """
         stats = collector()
         if stats is not None:
-            stats.rows_scanned += self._live_count
+            stats.add("rows_scanned", self._live_count)
         span = current_span()
         if span is not None:
             span.add("rows_scanned", self._live_count)
@@ -143,7 +143,7 @@ class Table:
             return
         stats = collector()
         if stats is not None:
-            stats.rows_inserted += count
+            stats.add("rows_inserted", count)
         span = current_span()
         if span is not None:
             span.add("rows_inserted", count)
@@ -166,7 +166,7 @@ class Table:
         self._live_count -= 1
         stats = collector()
         if stats is not None:
-            stats.rows_deleted += 1
+            stats.add("rows_deleted")
         span = current_span()
         if span is not None:
             span.add("rows_deleted")
@@ -193,7 +193,7 @@ class Table:
         self._rows[slot] = stored
         stats = collector()
         if stats is not None:
-            stats.rows_updated += 1
+            stats.add("rows_updated")
         span = current_span()
         if span is not None:
             span.add("rows_updated")

@@ -9,6 +9,7 @@ are skipped entirely — their summary tables need no work.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from ..errors import MaintenanceError
@@ -47,28 +48,61 @@ def run_nightly_maintenance(
     checking every summary table against recomputation — expensive, but the
     definitive post-deployment smoke test.
     """
-    from ..lattice.plan import maintain_lattice
+    from ..core.propagate import PropagateOptions
+    from ..core.refresh import RefreshVariant
+    from ..lattice.plan import maintain_lattice, maintenance_record
+    from ..obs.ledger import active_ledger, suspended_ledger
+    from ..relational.stats import measuring
 
     clock: BatchWindowClock = maintain_kwargs.pop("clock", None) or BatchWindowClock()
     result = NightlyResult(report=clock.report)
 
-    with tracing.span("nightly", facts=len(warehouse.facts)) as nightly_span:
-        for fact_name in sorted(warehouse.facts):
-            changes = warehouse.pending_changes(fact_name)
-            if changes.is_empty():
-                continue
-            with tracing.span("fact:" + fact_name) as fact_span:
-                fact_span.add("changes", changes.size())
-                views = warehouse.views_over(fact_name)
-                if views:
-                    result.per_fact[fact_name] = maintain_lattice(
-                        views, changes, clock=clock, **maintain_kwargs
-                    )
-                else:
-                    with clock.offline("apply-base", fact=fact_name):
-                        changes.apply_to(warehouse.facts[fact_name].table)
-                warehouse.discard_pending(fact_name)
-        nightly_span.add("facts_maintained", len(result.per_fact))
+    ledger = active_ledger()
+    change_counts = {"insertions": 0, "deletions": 0}
+    with ExitStack() as scope:
+        if ledger is not None:
+            # The warehouse-wide record subsumes the per-fact ones, so
+            # suspend the ledger around the per-fact calls — one nightly
+            # run appends exactly one "nightly" record.
+            scope.enter_context(suspended_ledger())
+            access = scope.enter_context(measuring())
+            access_before = access.snapshot()
+        with tracing.span("nightly", facts=len(warehouse.facts)) as nightly_span:
+            for fact_name in sorted(warehouse.facts):
+                changes = warehouse.pending_changes(fact_name)
+                if changes.is_empty():
+                    continue
+                change_counts["insertions"] += len(changes.insertions)
+                change_counts["deletions"] += len(changes.deletions)
+                with tracing.span("fact:" + fact_name) as fact_span:
+                    fact_span.add("changes", changes.size())
+                    views = warehouse.views_over(fact_name)
+                    if views:
+                        result.per_fact[fact_name] = maintain_lattice(
+                            views, changes, clock=clock, **maintain_kwargs
+                        )
+                    else:
+                        with clock.offline("apply-base", fact=fact_name):
+                            changes.apply_to(warehouse.facts[fact_name].table)
+                    warehouse.discard_pending(fact_name)
+            nightly_span.add("facts_maintained", len(result.per_fact))
+        if ledger is not None:
+            all_stats = {
+                name: stats
+                for fact_result in result.per_fact.values()
+                for name, stats in fact_result.stats.items()
+            }
+            ledger.append(maintenance_record(
+                kind="nightly",
+                options=maintain_kwargs.get("options", PropagateOptions()),
+                use_lattice=maintain_kwargs.get("use_lattice", True),
+                variant=maintain_kwargs.get("variant", RefreshVariant.CURSOR),
+                phases=clock.report.phases,
+                access=access.since(access_before),
+                stats=all_stats,
+                change_counts=change_counts,
+                estimate=None,
+            ))
 
     if verify:
         stale = [

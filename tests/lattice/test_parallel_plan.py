@@ -12,6 +12,7 @@ import pytest
 from repro.core import MinMaxPolicy, PropagateOptions
 from repro.lattice import (
     build_lattice_for_views,
+    effective_level_workers,
     maintain_lattice,
     propagate_lattice,
     propagation_levels,
@@ -95,9 +96,11 @@ class TestLevelParallelEquality:
         serial = propagate_lattice(
             lattice, changes, PropagateOptions(policy=policy)
         )
+        # max_workers=2 keeps the threaded dispatch covered even on a
+        # single-CPU runner, where the default would fall back to serial.
         parallel = propagate_lattice(
             lattice, changes,
-            PropagateOptions(policy=policy, level_parallel=True),
+            PropagateOptions(policy=policy, level_parallel=True, max_workers=2),
         )
         assert set(serial) == set(parallel)
         for name in serial:
@@ -115,7 +118,8 @@ class TestLevelParallelEquality:
         parallel = propagate_lattice(
             lattice, changes,
             PropagateOptions(
-                parallel=True, chunks=3, backend="thread", level_parallel=True
+                parallel=True, chunks=3, backend="thread",
+                level_parallel=True, max_workers=2,
             ),
         )
         for name in serial:
@@ -145,8 +149,100 @@ class TestLevelParallelEquality:
         maintain_lattice(
             views, changes,
             options=PropagateOptions(
-                parallel=True, chunks=4, backend="thread", level_parallel=True
+                parallel=True, chunks=4, backend="thread",
+                level_parallel=True, max_workers=2,
             ),
         )
         for view in views:
             assert_view_matches_recomputation(view)
+
+
+class TestSingleWorkerFallback:
+    """level_parallel=True falls back to the serial walk when only one
+    worker is effective (BENCH_propagate.json recorded the threaded walk
+    as a 0.968x slowdown on a 1-CPU container)."""
+
+    def levels(self):
+        _data, views = retail_setup(pos_rows=800)
+        return propagation_levels(build_lattice_for_views(views))
+
+    def test_explicit_max_workers_honored(self):
+        levels = self.levels()
+        workers, fallback = effective_level_workers(
+            PropagateOptions(max_workers=2), levels
+        )
+        assert workers == 2 and not fallback
+        workers, fallback = effective_level_workers(
+            PropagateOptions(max_workers=1), levels
+        )
+        assert workers == 1 and fallback
+
+    def test_default_capped_by_cpu_count(self, monkeypatch):
+        import repro.lattice.plan as plan_module
+
+        levels = self.levels()
+        widest = max(len(level) for level in levels)
+        monkeypatch.setattr(plan_module.os, "cpu_count", lambda: 1)
+        workers, fallback = effective_level_workers(PropagateOptions(), levels)
+        assert workers == 1 and fallback
+        monkeypatch.setattr(plan_module.os, "cpu_count", lambda: 64)
+        workers, fallback = effective_level_workers(PropagateOptions(), levels)
+        assert workers == widest and not fallback
+
+    def test_fallback_tagged_on_the_propagate_span(self, monkeypatch):
+        from repro.obs import trace
+        from repro.obs.tracing import active_recorder, install_recorder
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        previous = active_recorder()
+        install_recorder(None)
+        try:
+            data, views = retail_setup(seed=61, pos_rows=800)
+            changes = update_generating_changes(
+                data.pos, data.config, 80, data.rng
+            )
+            lattice = build_lattice_for_views(views)
+
+            with trace() as recorder:
+                propagate_lattice(
+                    lattice, changes,
+                    PropagateOptions(level_parallel=True, max_workers=1),
+                )
+            fallen_back = recorder.finish().find("propagate")
+            assert fallen_back.tags["level_parallel"] is False
+            assert fallen_back.tags["level_parallel_fallback"] == "single-worker"
+
+            with trace() as recorder:
+                propagate_lattice(
+                    lattice, changes,
+                    PropagateOptions(level_parallel=True, max_workers=2),
+                )
+            threaded = recorder.finish().find("propagate")
+            assert threaded.tags["level_parallel"] is True
+            assert "level_parallel_fallback" not in threaded.tags
+
+            with trace() as recorder:
+                propagate_lattice(lattice, changes, PropagateOptions())
+            serial = recorder.finish().find("propagate")
+            assert serial.tags["level_parallel"] is False
+            assert "level_parallel_fallback" not in serial.tags
+        finally:
+            install_recorder(previous)
+
+    def test_fallback_walk_matches_threaded_deltas(self):
+        data, views = retail_setup(seed=67, pos_rows=800)
+        changes = update_generating_changes(data.pos, data.config, 100, data.rng)
+        lattice = build_lattice_for_views(views)
+        fallen_back = propagate_lattice(
+            lattice, changes,
+            PropagateOptions(level_parallel=True, max_workers=1),
+        )
+        threaded = propagate_lattice(
+            lattice, changes,
+            PropagateOptions(level_parallel=True, max_workers=2),
+        )
+        for name in fallen_back:
+            assert (
+                fallen_back[name].table.sorted_rows()
+                == threaded[name].table.sorted_rows()
+            ), name

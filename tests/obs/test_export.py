@@ -91,3 +91,82 @@ class TestTraceSummary:
         summary = trace_summary(recorded_tree(), MetricsRegistry())
         assert "metrics" not in summary
         assert summary["spans"] == 5
+
+
+class TestPrometheusText:
+    def registry_with_everything(self):
+        from repro.obs.metrics import BUCKET_BOUNDS
+
+        reg = MetricsRegistry()
+        reg.counter("refresh.actions.update").inc(7)
+        reg.gauge("undo.log.live").set(3)
+        hist = reg.histogram("chunk.rows")
+        for value in (1, 3, 5, 100, BUCKET_BOUNDS[-1] * 10):
+            hist.observe(value)
+        return reg
+
+    def test_counter_and_gauge_lines(self):
+        from repro.obs import prometheus_text
+
+        text = prometheus_text(self.registry_with_everything())
+        assert "# TYPE repro_refresh_actions_update counter" in text
+        assert "repro_refresh_actions_update 7" in text
+        assert "# TYPE repro_undo_log_live gauge" in text
+        assert "repro_undo_log_live 3" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        from repro.obs import prometheus_text
+        from repro.obs.metrics import BUCKET_BOUNDS
+
+        text = prometheus_text(self.registry_with_everything())
+        lines = text.splitlines()
+        buckets = [l for l in lines if l.startswith("repro_chunk_rows_bucket")]
+        # One line per bound plus the mandatory +Inf terminator.
+        assert len(buckets) == len(BUCKET_BOUNDS) + 1
+        assert buckets[-1] == 'repro_chunk_rows_bucket{le="+Inf"} 5'
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        assert 'repro_chunk_rows_bucket{le="1.0"} 1' in text
+        assert "repro_chunk_rows_count 5" in text
+        total = 1 + 3 + 5 + 100 + BUCKET_BOUNDS[-1] * 10
+        assert f"repro_chunk_rows_sum {float(total)!r}" in text
+
+    def test_name_sanitisation(self):
+        from repro.obs.export import _prom_name
+
+        assert _prom_name("refresh.actions.update") == (
+            "repro_refresh_actions_update"
+        )
+        assert _prom_name("weird-name:x") == "repro_weird_name_x"
+        assert _prom_name("9lives") == "repro__9lives"
+
+    def test_empty_registry_renders_empty(self):
+        from repro.obs import prometheus_text
+
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_default_registry_is_process_wide(self):
+        from repro.obs import prometheus_text, registry, set_registry
+
+        mine = MetricsRegistry()
+        mine.counter("only.here").inc()
+        previous = set_registry(mine)
+        try:
+            assert "repro_only_here 1" in prometheus_text()
+        finally:
+            set_registry(previous)
+
+
+class TestHistogramCumulativeBuckets:
+    def test_matches_observation_counts(self):
+        from repro.obs.metrics import BUCKET_BOUNDS, Histogram
+
+        hist = Histogram("h")
+        for value in (1, 2, 1_000_000_000):
+            hist.observe(value)
+        buckets = hist.cumulative_buckets()
+        assert buckets[0] == (1.0, 1)   # value 1 in the first bucket
+        assert buckets[1] == (4.0, 2)   # value 2 cumulates into le=4
+        assert buckets[-1] == (float("inf"), 3)
+        assert len(buckets) == len(BUCKET_BOUNDS) + 1

@@ -1,7 +1,12 @@
 """Tuple-access accounting."""
 
-from repro.relational import Table, measuring
-from repro.relational.stats import collector
+import threading
+
+import pytest
+
+from repro.relational import SumReducer, Table, col, measuring
+from repro.relational.aggregation import group_by_chunked
+from repro.relational.stats import ACCESS_FIELDS, AccessStats, collector
 
 
 class TestMeasuring:
@@ -78,3 +83,98 @@ class TestMeasuring:
             list(table.scan())
         assert frozen.rows_scanned == 1
         assert stats.rows_scanned == 2
+
+    def test_since_gives_the_delta(self):
+        table = Table("t", ["a"], [(1,), (2,)])
+        with measuring() as stats:
+            list(table.scan())
+            before = stats.snapshot()
+            list(table.scan())
+            table.insert((3,))
+        delta = stats.since(before)
+        assert delta.rows_scanned == 2
+        assert delta.rows_inserted == 1
+
+    def test_as_dict_covers_every_field(self):
+        table = Table("t", ["a"], [(1,)])
+        with measuring() as stats:
+            list(table.scan())
+        data = stats.as_dict()
+        assert set(data) == set(ACCESS_FIELDS) | {"total"}
+        assert data["total"] == stats.total_accesses == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_add_loses_no_increments(self):
+        """Regression: bare ``+=`` on a shared collector loses updates
+        under thread interleaving (the engine's level-parallel walk and
+        thread-backend chunked folds both charge concurrently).  The
+        locked ``add`` must count exactly."""
+        stats = AccessStats()
+        threads_n, increments = 8, 2_000
+
+        def hammer():
+            for _ in range(increments):
+                stats.add("rows_scanned")
+                stats.add("index_lookups", 2)
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.rows_scanned == threads_n * increments
+        assert stats.index_lookups == 2 * threads_n * increments
+
+    def test_concurrent_table_scans_count_exactly(self):
+        """End-to-end: worker threads scanning real tables under one
+        measuring() block must neither drop nor double-count rows."""
+        tables = [
+            Table(f"t{i}", ["a"], [(v,) for v in range(200)])
+            for i in range(6)
+        ]
+        with measuring() as stats:
+            threads = [
+                threading.Thread(target=lambda t=t: list(t.scan()))
+                for t in tables
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert stats.rows_scanned == 6 * 200
+
+
+class TestChunkedBackendsAccounting:
+    """group_by_chunked must charge the collector identically on every
+    executor — worker scans dropped (process backend: workers live in
+    other processes) or double-counted (thread backend) would make the
+    ledger's access totals depend on engine configuration."""
+
+    def rows(self):
+        return [(k % 7, k) for k in range(700)]
+
+    def serial_baseline(self):
+        table = Table("t", ["k", "v"], self.rows())
+        with measuring() as stats:
+            group_by_chunked(
+                table, ["k"], [("total", col("v"), SumReducer())],
+                chunks=4, backend="serial",
+            )
+        return stats.snapshot()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_matches_serial_counts(self, backend):
+        baseline = self.serial_baseline()
+        table = Table("t", ["k", "v"], self.rows())
+        with measuring() as stats:
+            result = group_by_chunked(
+                table, ["k"], [("total", col("v"), SumReducer())],
+                chunks=4, backend=backend, max_workers=2,
+            )
+        assert len(result) == 7
+        for field in ACCESS_FIELDS:
+            assert getattr(stats, field) == getattr(baseline, field), (
+                backend, field
+            )
+        assert stats.rows_scanned >= 700  # the input was actually charged

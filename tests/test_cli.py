@@ -99,3 +99,160 @@ class TestCommands:
         code = main(["trace", "--pos-rows", "1000", "--changes", "100"])
         assert code == 1
         assert "REPRO_TRACE=0" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_renders_the_plan(self, capsys):
+        code = main(["explain", "--pos-rows", "2000", "--changes", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Maintenance plan" in out
+        assert "SID_sales" in out
+        assert "est.accesses" in out
+        assert "propagate with lattice" in out
+        assert "without lattice" in out
+        assert "§2.2" in out
+        assert "schedule: serial topological walk" in out
+
+    def test_parallel_schedule_line_reports_fallback_on_one_cpu(
+        self, capsys, monkeypatch
+    ):
+        import repro.lattice.plan as plan_module
+
+        monkeypatch.setattr(plan_module.os, "cpu_count", lambda: 1)
+        code = main([
+            "explain", "--pos-rows", "1000", "--changes", "100", "--parallel",
+        ])
+        assert code == 0
+        assert "automatic fallback" in capsys.readouterr().out
+
+    def test_execute_prints_predicted_vs_actual(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        code = main([
+            "explain", "--pos-rows", "2000", "--changes", "200", "--execute",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted vs actual" in out
+        assert "error" in out and "ratio" in out
+        assert "MIN/MAX recompute scans" in out
+
+    def test_execute_merges_bench_json(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        target = tmp_path / "BENCH.json"
+        code = main([
+            "explain", "--pos-rows", "1000", "--changes", "100",
+            "--execute", "--bench-json", str(target),
+        ])
+        assert code == 0
+        data = json.loads(target.read_text())
+        section = data["predicted_vs_actual"]
+        assert section["workload"] == "update"
+        assert section["nodes"]
+        for payload in section["nodes"].values():
+            assert {"predicted", "actual", "error_pct"} <= set(payload)
+        assert (
+            section["predicted_with_lattice"]
+            < section["predicted_without_lattice"]
+        )
+
+    def test_execute_refuses_under_kill_switch(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        code = main([
+            "explain", "--pos-rows", "1000", "--changes", "100", "--execute",
+        ])
+        assert code == 2
+
+
+class TestLedgerCommands:
+    def seeded_ledger(self, tmp_path, monkeypatch, runs=3):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "runs.jsonl"))
+        for _ in range(runs):
+            assert main([
+                "maintain", "--pos-rows", "1000", "--changes", "100",
+            ]) == 0
+        return tmp_path / "runs.jsonl"
+
+    def test_history_lists_runs(self, tmp_path, capsys, monkeypatch):
+        self.seeded_ledger(tmp_path, monkeypatch)
+        assert main(["history"]) == 0
+        out = capsys.readouterr().out
+        assert "maintain_lattice" in out
+        assert out.count("maintain_lattice") == 3
+
+    def test_history_empty_ledger(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "runs.jsonl"))
+        assert main(["history"]) == 0
+        assert "no recorded runs" in capsys.readouterr().out
+
+    def test_history_without_ledger_is_a_usage_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        assert main(["history"]) == 2
+
+    def test_regress_passes_unchanged_runs(self, tmp_path, capsys, monkeypatch):
+        self.seeded_ledger(tmp_path, monkeypatch)
+        assert main(["regress"]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+    def test_regress_flags_synthetically_slowed_run(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        path = self.seeded_ledger(tmp_path, monkeypatch)
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        slowed = dict(records[-1])
+        slowed["run_id"] = len(records) + 1
+        slowed["phases"] = [
+            {**phase, "seconds": phase["seconds"] * 10}
+            for phase in slowed["phases"]
+        ]
+        with path.open("a") as handle:
+            handle.write(json.dumps(slowed) + "\n")
+        assert main(["regress"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_regress_schema_error_exits_2(self, tmp_path, capsys, monkeypatch):
+        path = tmp_path / "runs.jsonl"
+        path.write_text("{broken\n")
+        monkeypatch.setenv("REPRO_LEDGER", str(path))
+        assert main(["regress"]) == 2
+
+    def test_regress_with_single_run_cannot_judge(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        self.seeded_ledger(tmp_path, monkeypatch, runs=1)
+        assert main(["regress"]) == 0
+        assert "cannot judge" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def test_prom_format(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        code = main([
+            "metrics", "--format", "prom",
+            "--pos-rows", "1000", "--changes", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_propagate_invocations counter" in out
+        assert "repro_refresh_delta_rows" in out
+
+    def test_json_format(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        code = main([
+            "metrics", "--pos-rows", "1000", "--changes", "100",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["counters"]["propagate.invocations"] >= 1
+
+    def test_refuses_under_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert main(["metrics"]) == 2
