@@ -43,6 +43,21 @@ Commands
 ``metrics``
     Run one traced maintenance and print the metrics registry, either as
     JSON or in the Prometheus text exposition format (``--format prom``).
+``status``
+    Fleet-wide freshness/certificate table after one nightly maintenance
+    run: per view, the maintained certificate and its verdict against the
+    stored rows, last-refresh run id and kind, staleness seconds, and
+    pending change counts.  ``--prom`` additionally prints the freshness
+    and integrity gauges in the Prometheus text format.  Exit 1 on any
+    certificate drift.
+``audit``
+    Corruption-detecting integrity audit after one nightly maintenance
+    run.  Full mode (default) compares maintained, stored, and
+    recompute certificates per view; ``--sample K`` re-derives K random
+    summary tuples per view from base facts instead.  ``--inject KIND``
+    first injects one corruption (``mutate``, ``drop``, ``phantom``,
+    ``missed-delta``) for fault-injection smoke tests.  ``--report PATH``
+    writes the audit report as JSON.  Exit 1 on any FAIL verdict.
 """
 
 from __future__ import annotations
@@ -421,6 +436,100 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retail_warehouse_after_nightly(pos_rows: int, change_rows: int,
+                                    workload: str):
+    """A retail warehouse that has been through one nightly maintenance
+    run over *change_rows* staged changes (returns warehouse + the data
+    bundle, whose ``rng`` continues the deterministic stream)."""
+    from .warehouse.nightly import run_nightly_maintenance
+    from .workload import (
+        RetailConfig,
+        build_retail_warehouse,
+        generate_retail,
+        insertion_generating_changes,
+        update_generating_changes,
+    )
+
+    data = generate_retail(RetailConfig(pos_rows=pos_rows))
+    warehouse = build_retail_warehouse(data)
+    factory = (
+        insertion_generating_changes if workload == "insert"
+        else update_generating_changes
+    )
+    staged = factory(data.pos, data.config, change_rows, data.rng)
+    pending = warehouse.pending_changes("pos")
+    for row in staged.insertions.scan():
+        pending.insert(row)
+    for row in staged.deletions.scan():
+        pending.delete(row)
+    run_nightly_maintenance(warehouse)
+    return warehouse, data
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .obs import prometheus_text, registry
+    from .warehouse.health import (
+        export_status_gauges,
+        format_status,
+        warehouse_status,
+    )
+    from .workload import update_generating_changes
+
+    warehouse, data = _retail_warehouse_after_nightly(
+        args.pos_rows, args.changes, args.workload
+    )
+    # Stage (but do not maintain) a second batch so the table shows what
+    # pending-change pressure looks like between nightly runs.
+    staged = update_generating_changes(
+        data.pos, data.config, max(1, args.changes // 2), data.rng
+    )
+    pending = warehouse.pending_changes("pos")
+    for row in staged.insertions.scan():
+        pending.insert(row)
+    for row in staged.deletions.scan():
+        pending.delete(row)
+
+    statuses = warehouse_status(warehouse)
+    print(format_status(statuses))
+    if args.prom:
+        export_status_gauges(warehouse, registry())
+        print()
+        sys.stdout.write(prometheus_text(registry()))
+    drifted = [s.name for s in statuses if s.certificate_ok is False]
+    if drifted:
+        print(f"certificate drift detected: {drifted}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+    import random
+
+    from .warehouse.health import audit_warehouse, inject_corruption
+
+    warehouse, _data = _retail_warehouse_after_nightly(
+        args.pos_rows, args.changes, args.workload
+    )
+    rng = random.Random(args.seed)
+    if args.inject:
+        description = inject_corruption(
+            warehouse, args.inject, rng=rng, view_name=args.view
+        )
+        print(f"injected: {description}\n")
+    report = audit_warehouse(warehouse, sample=args.sample, rng=rng)
+    print(report.format())
+    if args.report is not None:
+        from .bench.reporting import atomic_write_text
+
+        atomic_write_text(
+            args.report,
+            json.dumps(report.to_record(), indent=2, sort_keys=True) + "\n",
+        )
+        print(f"audit report written to {args.report}")
+    return 0 if report.passed else 1
+
+
 def _ledger_from_args(args: argparse.Namespace):
     from .obs.ledger import LEDGER_ENV_VAR, RunLedger
 
@@ -677,6 +786,44 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=["json", "prom"],
                          default="json")
     metrics.set_defaults(func=_cmd_metrics)
+
+    status = sub.add_parser(
+        "status",
+        help="fleet-wide freshness/certificate table after one nightly run",
+    )
+    status.add_argument("--pos-rows", type=int, default=5_000)
+    status.add_argument("--changes", type=int, default=500)
+    status.add_argument("--workload", choices=["update", "insert"],
+                        default="update")
+    status.add_argument("--prom", action="store_true",
+                        help="also print freshness/integrity gauges in the "
+                             "Prometheus text format")
+    status.set_defaults(func=_cmd_status)
+
+    audit = sub.add_parser(
+        "audit",
+        help="integrity audit of every summary table (exit 1 on any FAIL)",
+    )
+    audit.add_argument("--pos-rows", type=int, default=5_000)
+    audit.add_argument("--changes", type=int, default=500)
+    audit.add_argument("--workload", choices=["update", "insert"],
+                       default="update")
+    audit.add_argument("--sample", type=int, default=None, metavar="K",
+                       help="sampled drill-down audit of K tuples per view "
+                            "(default: full certificate audit)")
+    audit.add_argument("--inject", choices=["mutate", "drop", "phantom",
+                                            "missed-delta"],
+                       default=None,
+                       help="inject one corruption before auditing "
+                            "(fault-injection smoke)")
+    audit.add_argument("--view", default=None,
+                       help="target view for --inject (default: first "
+                            "non-empty view)")
+    audit.add_argument("--seed", type=int, default=0,
+                       help="random seed for sampling and injection")
+    audit.add_argument("--report", default=None, metavar="PATH",
+                       help="write the audit report as JSON")
+    audit.set_defaults(func=_cmd_audit)
 
     return parser
 

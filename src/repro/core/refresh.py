@@ -322,6 +322,7 @@ def refresh(
     ) as span:
         stats = _refresh_impl(view, delta, recompute, variant, assume_all_new)
         _record_refresh_stats(span, stats)
+        view.freshness.mark_refreshed(stats.delta_rows)
         return stats
 
 
@@ -340,6 +341,9 @@ def _record_refresh_stats(span, stats: RefreshStats) -> None:
         registry.counter("refresh.updated").inc(stats.updated)
         registry.counter("refresh.deleted").inc(stats.deleted)
         registry.counter("refresh.recomputed").inc(stats.recomputed)
+        cert_digests = span.counters.get("cert_digests", 0)
+        if cert_digests:
+            registry.counter("integrity.cert_digests").inc(cert_digests)
 
 
 def _refresh_impl(

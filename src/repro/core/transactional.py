@@ -96,6 +96,7 @@ def refresh_atomically(
             view, delta, recompute, failure_hook, refresh_span
         )
         _record_refresh_stats(refresh_span, stats)
+        view.freshness.mark_refreshed(stats.delta_rows)
         return stats
 
 

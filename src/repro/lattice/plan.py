@@ -337,7 +337,7 @@ def maintain_lattice(
             deltas=deltas, stats=stats, report=clock.report
         )
         if ledger is not None:
-            ledger.append(maintenance_record(
+            stamped = ledger.append(maintenance_record(
                 kind="maintain_lattice",
                 options=options,
                 use_lattice=use_lattice,
@@ -347,7 +347,15 @@ def maintain_lattice(
                 stats=stats,
                 change_counts=change_counts,
                 estimate=estimate,
+                freshness={
+                    view.name: view.freshness.as_dict() for view in views
+                },
             ))
+            run_id = stamped["run_id"]
+        else:
+            run_id = None
+        for view in views:
+            view.freshness.note_run(run_id, "maintain_lattice")
     return result
 
 
@@ -372,6 +380,7 @@ def maintenance_record(
     stats: Mapping[str, RefreshStats],
     change_counts: Mapping[str, int],
     estimate: PlanCostEstimate | None,
+    freshness: Mapping[str, dict] | None = None,
 ) -> dict:
     """Build one run-ledger record (see :mod:`repro.obs.ledger` for the
     schema).  Only depth-0 phases are recorded — nested phases would
@@ -398,6 +407,9 @@ def maintenance_record(
             for name, s in sorted(stats.items())
         },
         "changes": dict(change_counts),
+        "freshness": {
+            name: dict(fields) for name, fields in sorted(freshness.items())
+        } if freshness is not None else None,
         "predictions": None,
         "predicted_with_lattice": None,
         "predicted_without_lattice": None,

@@ -21,7 +21,16 @@ Quick use::
     print(format_span_tree(recorder.root))
 """
 
-from . import export, ledger, metrics, tracing
+from . import audit, export, ledger, metrics, tracing
+from .audit import (
+    IntegrityEvent,
+    ViewCertificate,
+    ViewFreshness,
+    certificates_enabled,
+    record_events,
+    row_digest,
+    rows_certificate,
+)
 from .export import (
     format_span_tree,
     prometheus_text,
@@ -43,6 +52,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    metric_key,
     registry,
     set_registry,
 )
@@ -65,6 +75,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "IntegrityEvent",
     "MetricsRegistry",
     "NullRecorder",
     "RegressionFinding",
@@ -72,15 +83,22 @@ __all__ = [
     "RunLedger",
     "Span",
     "TraceRecorder",
+    "ViewCertificate",
+    "ViewFreshness",
     "active_ledger",
     "active_recorder",
+    "certificates_enabled",
     "current_span",
     "detect_regression",
     "enabled",
     "format_span_tree",
     "install_recorder",
+    "metric_key",
     "prometheus_text",
+    "record_events",
     "registry",
+    "row_digest",
+    "rows_certificate",
     "set_ledger",
     "set_registry",
     "span",

@@ -15,9 +15,7 @@ Three consumers, three shapes:
 from __future__ import annotations
 
 import json
-import os
 import pathlib
-import tempfile
 from typing import Any
 
 from .metrics import MetricsRegistry, registry
@@ -50,22 +48,14 @@ def write_trace_jsonl(root: Span, path: pathlib.Path | str) -> pathlib.Path:
     Written atomically (tempfile + ``os.replace``) so a crashed exporter
     never leaves a truncated trace file behind.
     """
+    # Imported here, not at module level: repro.bench sits above the
+    # drivers that pull obs in (same layering note as repro.obs.ledger).
+    from ..bench.reporting import atomic_write_text
+
     target = pathlib.Path(path)
     lines = [json.dumps(span_to_dict(span), sort_keys=True)
              for span in root.walk()]
-    fd, tmp_name = tempfile.mkstemp(
-        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write("\n".join(lines) + "\n")
-        os.replace(tmp_name, target)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    atomic_write_text(target, "\n".join(lines) + "\n")
     return target
 
 
@@ -178,6 +168,42 @@ def _prom_value(value: int | float) -> str:
     return repr(float(value)) if isinstance(value, float) else str(value)
 
 
+def _prom_label_value(value: Any) -> str:
+    """A label value escaped per the 0.0.4 text exposition format:
+    backslash → ``\\\\``, double quote → ``\\"``, newline → ``\\n``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_label_name(name: str) -> str:
+    """A label name restricted to ``[a-zA-Z_][a-zA-Z0-9_]*``."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_labels(labels: dict[str, Any] | None,
+                 extra: dict[str, str] | None = None) -> str:
+    """Render a label set as ``{k="v",...}`` (empty string when none)."""
+    merged: dict[str, str] = {}
+    if labels:
+        for key in sorted(labels):
+            merged[_prom_label_name(key)] = _prom_label_value(labels[key])
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in merged.items())
+    return "{" + inner + "}"
+
+
 def prometheus_text(metrics: MetricsRegistry | None = None) -> str:
     """The registry in the Prometheus text exposition format (version
     0.0.4 — what a file-based or pushgateway scrape expects).
@@ -186,24 +212,40 @@ def prometheus_text(metrics: MetricsRegistry | None = None) -> str:
     histograms in the standard three-part shape: cumulative ``_bucket``
     samples with ``le`` labels (including the mandatory ``le="+Inf"``),
     then ``_sum`` and ``_count``.
+
+    Metrics sharing one name but different label sets form a single
+    family: one ``# TYPE`` line, then one sample per label set, label
+    values escaped per the format (backslash, double quote, newline).
     """
     counters, gauges, histograms = (metrics or registry()).all_metrics()
     lines: list[str] = []
-    for counter in counters:
-        name = _prom_name(counter.name)
-        lines.append(f"# TYPE {name} counter")
-        lines.append(f"{name} {_prom_value(counter.value)}")
-    for gauge in gauges:
-        name = _prom_name(gauge.name)
-        lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {_prom_value(gauge.value)}")
-    for histogram in histograms:
-        name = _prom_name(histogram.name)
-        lines.append(f"# TYPE {name} histogram")
+
+    def emit(metric_list, kind: str, render) -> None:
+        families: dict[str, list] = {}
+        for metric in metric_list:
+            families.setdefault(_prom_name(metric.name), []).append(metric)
+        for name in sorted(families):
+            lines.append(f"# TYPE {name} {kind}")
+            for metric in families[name]:
+                render(name, metric)
+
+    def render_counter(name: str, counter) -> None:
+        lines.append(
+            f"{name}{_prom_labels(counter.labels)} "
+            f"{_prom_value(counter.value)}"
+        )
+
+    def render_histogram(name: str, histogram) -> None:
         for bound, cumulative in histogram.cumulative_buckets():
-            lines.append(
-                f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            labels = _prom_labels(
+                histogram.labels, extra={"le": _prom_value(bound)}
             )
-        lines.append(f"{name}_sum {_prom_value(histogram.total)}")
-        lines.append(f"{name}_count {histogram.count}")
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        suffix = _prom_labels(histogram.labels)
+        lines.append(f"{name}_sum{suffix} {_prom_value(histogram.total)}")
+        lines.append(f"{name}_count{suffix} {histogram.count}")
+
+    emit(counters, "counter", render_counter)
+    emit(gauges, "gauge", render_counter)
+    emit(histograms, "histogram", render_histogram)
     return "\n".join(lines) + "\n" if lines else ""

@@ -53,6 +53,7 @@ import os
 import pathlib
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from statistics import median
@@ -105,6 +106,15 @@ class RunLedger:
 
         with self._thread_lock, self._file_lock():
             existing = self._read_lines()
+            if existing and _parse_line(existing[-1]) is None:
+                # A crash mid-append can leave a truncated trailing line;
+                # appending after it would corrupt the file mid-stream.
+                # Drop it (with a warning) — the rewrite self-heals.
+                warnings.warn(
+                    f"{self.path}: dropping truncated trailing ledger line",
+                    stacklevel=2,
+                )
+                existing.pop()
             stamped = dict(record)
             stamped.setdefault("schema_version", LEDGER_SCHEMA_VERSION)
             stamped["run_id"] = len(existing) + 1
@@ -126,20 +136,29 @@ class RunLedger:
     # -- reading -------------------------------------------------------
 
     def records(self) -> list[dict[str, Any]]:
-        """Every record, oldest first.  Raises ``ValueError`` on a
-        malformed line — a corrupt ledger should fail loudly, not be
-        silently skipped."""
+        """Every record, oldest first.
+
+        A malformed *trailing* line is the signature of a crash mid-append
+        (the process died while the file was being extended); it is dropped
+        with a ``UserWarning`` rather than raised, so ``repro history``
+        stays usable after a crash.  A malformed line anywhere *else* is
+        real corruption and still raises ``ValueError`` — a corrupt ledger
+        should fail loudly, not be silently skipped.
+        """
+        lines = self._read_lines()
         out = []
-        for number, line in enumerate(self._read_lines(), start=1):
-            try:
-                record = json.loads(line)
-            except ValueError as exc:
+        for number, line in enumerate(lines, start=1):
+            record = _parse_line(line)
+            if record is None:
+                if number == len(lines):
+                    warnings.warn(
+                        f"{self.path}: ignoring truncated trailing ledger "
+                        f"line {number} (crash mid-append?)",
+                        stacklevel=2,
+                    )
+                    break
                 raise ValueError(
-                    f"{self.path}: line {number} is not valid JSON: {exc}"
-                ) from None
-            if not isinstance(record, dict):
-                raise ValueError(
-                    f"{self.path}: line {number} is not a JSON object"
+                    f"{self.path}: line {number} is not a valid JSON record"
                 )
             out.append(record)
         return out
@@ -152,6 +171,15 @@ class RunLedger:
 
     def __iter__(self) -> Iterator[dict[str, Any]]:
         return iter(self.records())
+
+
+def _parse_line(line: str) -> dict[str, Any] | None:
+    """One ledger line as a record dict, or ``None`` when malformed."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
 
 
 class _FileLock:

@@ -26,18 +26,30 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "metric_key",
     "registry",
     "set_registry",
 ]
 
 
+def metric_key(name: str, labels: dict[str, Any] | None) -> str:
+    """The registry key for a metric: the bare name, or the name plus a
+    canonical (sorted) rendering of its labels.  Two calls with the same
+    name and labels always return the same live metric object."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict[str, Any] | None = None):
         self.name = name
+        self.labels: dict[str, Any] | None = dict(labels) if labels else None
         self.value: int | float = 0
 
     def inc(self, n: int | float = 1) -> None:
@@ -50,10 +62,11 @@ class Counter:
 class Gauge:
     """A value that goes up and down (e.g. live undo-log length)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict[str, Any] | None = None):
         self.name = name
+        self.labels: dict[str, Any] | None = dict(labels) if labels else None
         self.value: int | float = 0
 
     def set(self, value: int | float) -> None:
@@ -87,10 +100,11 @@ class Histogram:
     configuring anything.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict[str, Any] | None = None):
         self.name = name
+        self.labels: dict[str, Any] | None = dict(labels) if labels else None
         self.count = 0
         self.total: float = 0.0
         self.min: float | None = None
@@ -144,25 +158,31 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str,
+                labels: dict[str, Any] | None = None) -> Counter:
+        key = metric_key(name, labels)
         with self._lock:
-            metric = self._counters.get(name)
+            metric = self._counters.get(key)
             if metric is None:
-                metric = self._counters[name] = Counter(name)
+                metric = self._counters[key] = Counter(name, labels)
             return metric
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str,
+              labels: dict[str, Any] | None = None) -> Gauge:
+        key = metric_key(name, labels)
         with self._lock:
-            metric = self._gauges.get(name)
+            metric = self._gauges.get(key)
             if metric is None:
-                metric = self._gauges[name] = Gauge(name)
+                metric = self._gauges[key] = Gauge(name, labels)
             return metric
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  labels: dict[str, Any] | None = None) -> Histogram:
+        key = metric_key(name, labels)
         with self._lock:
-            metric = self._histograms.get(name)
+            metric = self._histograms.get(key)
             if metric is None:
-                metric = self._histograms[name] = Histogram(name)
+                metric = self._histograms[key] = Histogram(name, labels)
             return metric
 
     def all_metrics(self) -> tuple[list[Counter], list[Gauge], list[Histogram]]:
@@ -174,10 +194,11 @@ class MetricsRegistry:
                 [self._histograms[k] for k in sorted(self._histograms)],
             )
 
-    def counter_value(self, name: str) -> int | float:
+    def counter_value(self, name: str,
+                      labels: dict[str, Any] | None = None) -> int | float:
         """The counter's value, 0 when it was never touched."""
         with self._lock:
-            metric = self._counters.get(name)
+            metric = self._counters.get(metric_key(name, labels))
         return metric.value if metric is not None else 0
 
     def snapshot(self) -> dict[str, Any]:

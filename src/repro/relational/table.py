@@ -43,6 +43,7 @@ class Table:
         self._live_count = 0
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
         self._domains: dict[int, dict[Any, int]] = {}
+        self._observers: list[Any] = []
         self.insert_many(rows)
 
     # ------------------------------------------------------------------
@@ -136,6 +137,9 @@ class Table:
                 value = stored[position]
                 counts[value] = counts.get(value, 0) + 1
         self._live_count += 1
+        if self._observers:
+            for observer in self._observers:
+                observer.row_inserted(stored)
         return slot
 
     def _charge_inserts(self, count: int) -> None:
@@ -164,6 +168,9 @@ class Table:
                 else:
                     counts[value] = remaining
         self._live_count -= 1
+        if self._observers:
+            for observer in self._observers:
+                observer.row_deleted(row)
         stats = collector()
         if stats is not None:
             stats.add("rows_deleted")
@@ -191,6 +198,9 @@ class Table:
                         counts[old_value] = remaining
                     counts[new_value] = counts.get(new_value, 0) + 1
         self._rows[slot] = stored
+        if self._observers:
+            for observer in self._observers:
+                observer.row_updated(old_row, stored)
         stats = collector()
         if stats is not None:
             stats.add("rows_updated")
@@ -234,6 +244,38 @@ class Table:
             index.clear()
         for counts in self._domains.values():
             counts.clear()
+        if self._observers:
+            for observer in self._observers:
+                observer.truncated()
+
+    # ------------------------------------------------------------------
+    # Mutation observers
+    # ------------------------------------------------------------------
+
+    def attach_observer(self, observer: Any) -> Any:
+        """Attach a mutation observer (duck-typed: ``row_inserted(row)``,
+        ``row_deleted(row)``, ``row_updated(old, new)``, ``truncated()``).
+
+        Observers see every mutation path — inserts, slot deletes, in-place
+        updates, truncation — which is what lets a
+        :class:`~repro.obs.audit.ViewCertificate` stay consistent through
+        refresh, atomic rollback, and rematerialisation alike.  Copies
+        (:meth:`copy`) do not inherit observers.
+        """
+        self._observers.append(observer)
+        return observer
+
+    def detach_observer(self, observer: Any) -> None:
+        """Detach a previously attached observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    @property
+    def observers(self) -> tuple[Any, ...]:
+        """The attached mutation observers."""
+        return tuple(self._observers)
 
     # ------------------------------------------------------------------
     # Domain tracking

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..errors import DefinitionError
+from ..obs.audit import ViewCertificate, ViewFreshness, certificates_enabled
 from ..relational.aggregation import group_by as physical_group_by
 from ..relational.expressions import col
 from ..relational.operators import select
@@ -61,6 +62,17 @@ class MaterializedView:
         self.table = table
         if definition.group_by:
             table.create_index(list(definition.group_by))
+        #: Incremental consistency certificate, kept in sync with the
+        #: stored rows via the table's mutation observers (``None`` when
+        #: disabled through ``REPRO_CERTIFICATES=0``).  Built from
+        #: ``table.rows()`` — not ``scan()`` — because certificate
+        #: bookkeeping must not charge tuple-access accounting.
+        self.certificate: ViewCertificate | None = None
+        if certificates_enabled():
+            self.certificate = ViewCertificate.from_rows(table.rows())
+            table.attach_observer(self.certificate)
+        #: Per-view freshness (last refresh time / run id / kind).
+        self.freshness = ViewFreshness()
 
     def __repr__(self) -> str:
         return f"MaterializedView({self.definition.name!r}, {len(self.table)} rows)"

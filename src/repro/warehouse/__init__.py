@@ -5,9 +5,20 @@ from .catalog import Warehouse
 from .changes import ChangeSet
 from .dimension import DimensionHierarchy, DimensionTable
 from .fact import FactTable, ForeignKey
+from .health import (
+    AuditReport,
+    ViewAuditResult,
+    ViewStatus,
+    audit_warehouse,
+    export_status_gauges,
+    format_status,
+    inject_corruption,
+    warehouse_status,
+)
 from .nightly import NightlyResult, run_nightly_maintenance
 
 __all__ = [
+    "AuditReport",
     "BatchReport",
     "BatchWindowClock",
     "ChangeSet",
@@ -17,6 +28,13 @@ __all__ = [
     "ForeignKey",
     "NightlyResult",
     "Phase",
+    "ViewAuditResult",
+    "ViewStatus",
     "Warehouse",
+    "audit_warehouse",
+    "export_status_gauges",
+    "format_status",
+    "inject_corruption",
     "run_nightly_maintenance",
+    "warehouse_status",
 ]

@@ -116,6 +116,43 @@ class Warehouse:
             if view.definition.fact.name == fact_name
         ]
 
+    def freshness(self) -> dict[str, Any]:
+        """Per-view freshness trackers, keyed by view name."""
+        return {name: view.freshness for name, view in self.views.items()}
+
+    def pending_counts(self, fact_name: str) -> dict[str, int]:
+        """Deferred change counts for *fact_name*: insertions, deletions."""
+        changes = self.pending_changes(fact_name)
+        return {
+            "insertions": len(changes.insertions),
+            "deletions": len(changes.deletions),
+        }
+
+    def verify_certificates(self) -> dict[str, bool]:
+        """Certificate-based consistency check of every summary table.
+
+        For each view the *stored* certificate (re-digested from the
+        current rows) is compared against the *expected* certificate of
+        a from-scratch recomputation — ``certificate == recompute``
+        certifies the view without a row-by-row table comparison — and,
+        when incremental certificates are enabled, the *maintained*
+        certificate must also equal the stored one (drift means the
+        table was mutated outside maintenance).  Returns
+        ``{view_name: consistent}``; raises nothing.
+        """
+        from ..obs.audit import rows_certificate
+        from ..views.materialize import compute_rows
+
+        results: dict[str, bool] = {}
+        for name, view in self.views.items():
+            stored = rows_certificate(view.table.rows())
+            expected = rows_certificate(compute_rows(view.definition).rows())
+            consistent = stored == expected
+            if view.certificate is not None:
+                consistent = consistent and view.certificate.value == stored
+            results[name] = consistent
+        return results
+
     def verify_views(self) -> dict[str, bool]:
         """Check every summary table against from-scratch recomputation.
 

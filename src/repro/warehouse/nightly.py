@@ -37,7 +37,7 @@ class NightlyResult:
 
 def run_nightly_maintenance(
     warehouse: Warehouse,
-    verify: bool = False,
+    verify: bool | str = False,
     **maintain_kwargs,
 ) -> NightlyResult:
     """Maintain every summary table of every changed fact table.
@@ -46,7 +46,9 @@ def run_nightly_maintenance(
     :func:`repro.lattice.plan.maintain_lattice` (options, variant,
     use_lattice, auxiliary, ...).  With ``verify=True`` the run finishes by
     checking every summary table against recomputation — expensive, but the
-    definitive post-deployment smoke test.
+    definitive post-deployment smoke test.  ``verify="certificate"`` checks
+    through :meth:`Warehouse.verify_certificates` instead: one recompute
+    digest pass per view, no row-by-row table comparison.
     """
     from ..core.propagate import PropagateOptions
     from ..core.refresh import RefreshVariant
@@ -86,13 +88,18 @@ def run_nightly_maintenance(
                             changes.apply_to(warehouse.facts[fact_name].table)
                     warehouse.discard_pending(fact_name)
             nightly_span.add("facts_maintained", len(result.per_fact))
+        maintained_views = [
+            name
+            for fact_result in result.per_fact.values()
+            for name in fact_result.stats
+        ]
         if ledger is not None:
             all_stats = {
                 name: stats
                 for fact_result in result.per_fact.values()
                 for name, stats in fact_result.stats.items()
             }
-            ledger.append(maintenance_record(
+            stamped = ledger.append(maintenance_record(
                 kind="nightly",
                 options=maintain_kwargs.get("options", PropagateOptions()),
                 use_lattice=maintain_kwargs.get("use_lattice", True),
@@ -102,9 +109,28 @@ def run_nightly_maintenance(
                 stats=all_stats,
                 change_counts=change_counts,
                 estimate=None,
+                freshness={
+                    name: warehouse.views[name].freshness.as_dict()
+                    for name in maintained_views
+                },
             ))
+            run_id = stamped["run_id"]
+        else:
+            run_id = None
+        for name in maintained_views:
+            warehouse.views[name].freshness.note_run(run_id, "nightly")
 
-    if verify:
+    if verify == "certificate":
+        stale = [
+            name
+            for name, consistent in warehouse.verify_certificates().items()
+            if not consistent
+        ]
+        if stale:
+            raise MaintenanceError(
+                f"nightly certificate verification failed for views: {stale}"
+            )
+    elif verify:
         stale = [
             name for name, consistent in warehouse.verify_views().items()
             if not consistent

@@ -151,3 +151,11 @@ def assert_view_matches_recomputation(view) -> None:
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(42)
+
+
+@pytest.fixture(autouse=True)
+def isolated_certificates(monkeypatch):
+    """Certificate tests assume the default-on behaviour; shield them from
+    an ambient ``REPRO_CERTIFICATES=0`` (the kill-switch has its own
+    dedicated tests, which set the variable explicitly)."""
+    monkeypatch.delenv("REPRO_CERTIFICATES", raising=False)

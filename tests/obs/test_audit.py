@@ -1,0 +1,337 @@
+"""Consistency certificates, freshness tracking, and integrity events."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    base_recompute_fn,
+    compute_summary_delta,
+    refresh,
+    refresh_atomically,
+)
+from repro.obs import trace
+from repro.obs.audit import (
+    CERT_MASK,
+    IntegrityEvent,
+    ViewCertificate,
+    ViewFreshness,
+    certificates_enabled,
+    record_events,
+    row_digest,
+    rows_certificate,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.relational import Table
+from repro.views import MaterializedView
+from repro.warehouse import ChangeSet
+
+from ..conftest import assert_view_matches_recomputation, sid_definition
+
+
+class TestRowDigest:
+    def test_deterministic(self):
+        row = (1, "sf", 3.5, None)
+        assert row_digest(row) == row_digest(row)
+
+    def test_cell_order_matters(self):
+        assert row_digest((1, 2)) != row_digest((2, 1))
+
+    def test_integral_float_equals_int(self):
+        # Refresh arithmetic can turn SUM results into floats; SQL
+        # semantics say 5.0 and 5 are the same aggregate value.
+        assert row_digest((1, 5.0)) == row_digest((1, 5))
+        assert row_digest(("x", -3.0)) == row_digest(("x", -3))
+
+    def test_bool_equals_int(self):
+        assert row_digest((True,)) == row_digest((1,))
+        assert row_digest((False,)) == row_digest((0,))
+
+    def test_non_integral_float_distinct(self):
+        assert row_digest((5.5,)) != row_digest((5,))
+
+    def test_string_vs_number_distinct(self):
+        assert row_digest(("5",)) != row_digest((5,))
+
+    def test_none_distinct_from_zero_and_empty(self):
+        digests = {row_digest((None,)), row_digest((0,)), row_digest(("",))}
+        assert len(digests) == 3
+
+    def test_cell_boundaries_matter(self):
+        # Length-prefixing prevents ("ab", "c") colliding with ("a", "bc").
+        assert row_digest(("ab", "c")) != row_digest(("a", "bc"))
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= row_digest((1, "x", 2.5)) <= CERT_MASK
+
+
+class TestRowsCertificate:
+    def test_order_independent(self):
+        rows = [(1, "a", 2), (2, "b", 3), (3, "c", 4)]
+        shuffled = list(reversed(rows))
+        assert rows_certificate(rows) == rows_certificate(shuffled)
+
+    def test_multiset_sensitive(self):
+        # A bag: duplicate rows must change the certificate.
+        assert rows_certificate([(1,), (1,)]) != rows_certificate([(1,)])
+
+    def test_empty_is_zero(self):
+        assert rows_certificate([]) == 0
+
+
+class TestViewCertificate:
+    def test_from_rows_matches_incremental(self):
+        rows = [(1, "a", 2.0), (2, "b", 3.5)]
+        built = ViewCertificate.from_rows(rows)
+        incremental = ViewCertificate()
+        for row in rows:
+            incremental.row_inserted(row)
+        assert built.value == incremental.value == rows_certificate(rows)
+
+    def test_invertible(self):
+        certificate = ViewCertificate()
+        certificate.row_inserted((1, 2))
+        certificate.row_inserted((3, 4))
+        certificate.row_deleted((1, 2))
+        certificate.row_deleted((3, 4))
+        assert certificate.value == 0
+
+    def test_update_is_delete_plus_insert(self):
+        one = ViewCertificate()
+        one.row_inserted((1, 2))
+        one.row_updated((1, 2), (1, 3))
+        other = ViewCertificate()
+        other.row_inserted((1, 3))
+        assert one.value == other.value
+
+    def test_truncated_resets(self):
+        certificate = ViewCertificate.from_rows([(1,), (2,)])
+        certificate.truncated()
+        assert certificate.value == 0
+
+    def test_digest_accounting(self):
+        certificate = ViewCertificate()
+        certificate.row_inserted((1,))
+        certificate.row_updated((1,), (2,))
+        certificate.row_deleted((2,))
+        assert certificate.digests_computed == 4  # 1 + 2 + 1
+
+    def test_charges_span_counter(self):
+        certificate = ViewCertificate()
+        with trace() as recorder:
+            from repro.obs.tracing import span
+
+            with span("work"):
+                certificate.row_inserted((1, 2))
+                certificate.row_updated((1, 2), (1, 3))
+        (work,) = recorder.root.children
+        assert work.counters["cert_digests"] == 3
+
+    def test_hex_is_16_digits(self):
+        assert len(ViewCertificate.from_rows([(1,)]).hex) == 16
+
+
+class TestTableObserverIntegration:
+    def attach(self, rows):
+        table = Table("t", ["a", "b"], rows)
+        certificate = ViewCertificate.from_rows(table.rows())
+        table.attach_observer(certificate)
+        return table, certificate
+
+    def assert_consistent(self, table, certificate):
+        assert certificate.value == rows_certificate(table.rows())
+
+    def test_insert(self):
+        table, certificate = self.attach([(1, 2)])
+        table.insert((3, 4))
+        self.assert_consistent(table, certificate)
+
+    def test_delete_slot(self):
+        table, certificate = self.attach([(1, 2), (3, 4)])
+        table.delete_slot(0)
+        self.assert_consistent(table, certificate)
+
+    def test_update_slot(self):
+        table, certificate = self.attach([(1, 2)])
+        table.update_slot(0, (1, 9))
+        self.assert_consistent(table, certificate)
+
+    def test_truncate(self):
+        table, certificate = self.attach([(1, 2), (3, 4)])
+        table.truncate()
+        assert certificate.value == 0
+
+    def test_detach_stops_tracking(self):
+        table, certificate = self.attach([(1, 2)])
+        table.detach_observer(certificate)
+        table.insert((3, 4))
+        assert certificate.value != rows_certificate(table.rows())
+
+    def test_copy_does_not_inherit_observers(self):
+        table, certificate = self.attach([(1, 2)])
+        clone = table.copy()
+        assert clone.observers == ()
+
+
+class TestMaterializedViewCertificate:
+    def test_view_certifies_at_build(self, pos):
+        view = MaterializedView.build(sid_definition(pos))
+        assert view.certificate is not None
+        assert view.certificate.value == rows_certificate(view.table.rows())
+
+    def test_kill_switch_disables(self, pos, monkeypatch):
+        monkeypatch.setenv("REPRO_CERTIFICATES", "0")
+        assert not certificates_enabled()
+        view = MaterializedView.build(sid_definition(pos))
+        assert view.certificate is None
+        assert view.table.observers == ()
+
+    def refreshed(self, pos, inserts, deletes):
+        view = MaterializedView.build(sid_definition(pos))
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.insert_many(inserts)
+        changes.delete_many(deletes)
+        delta = compute_summary_delta(view.definition, changes)
+        changes.apply_to(pos.table)
+        return view, delta
+
+    def test_maintained_through_refresh(self, pos):
+        view, delta = self.refreshed(
+            pos,
+            inserts=[(1, 10, 1, 7, 1.0), (4, 13, 9, 2, 1.3)],
+            deletes=[(2, 12, 3, 5, 1.6)],
+        )
+        refresh(view, delta, base_recompute_fn(view.definition))
+        assert_view_matches_recomputation(view)
+        assert view.certificate.value == rows_certificate(view.table.rows())
+
+    def test_maintained_through_rollback(self, pos):
+        view, delta = self.refreshed(
+            pos,
+            inserts=[(1, 10, 1, 7, 1.0)],
+            deletes=[(2, 12, 3, 5, 1.6)],
+        )
+        before = view.certificate.value
+
+        def hook(step):
+            if step == 1:
+                raise RuntimeError("injected")
+
+        with pytest.raises(RuntimeError):
+            refresh_atomically(
+                view, delta, base_recompute_fn(view.definition),
+                failure_hook=hook,
+            )
+        # Undo-log rollback goes through the same observer hooks, so the
+        # certificate ends exactly where it started.
+        assert view.certificate.value == before
+        assert view.certificate.value == rows_certificate(view.table.rows())
+
+    def test_maintained_through_rematerialize(self, pos):
+        view = MaterializedView.build(sid_definition(pos))
+        pos.table.insert((1, 10, 1, 9, 1.0))
+        view.rematerialize()
+        assert view.certificate.value == rows_certificate(view.table.rows())
+
+
+class TestViewFreshness:
+    def test_new_view_counts_as_fresh(self):
+        freshness = ViewFreshness(created_ts=100.0)
+        assert freshness.staleness_seconds(now=107.5) == 7.5
+        assert freshness.refresh_count == 0
+
+    def test_mark_refreshed(self):
+        freshness = ViewFreshness(created_ts=100.0)
+        freshness.mark_refreshed(delta_rows=4, ts=200.0)
+        freshness.mark_refreshed(delta_rows=2, ts=300.0)
+        assert freshness.refresh_count == 2
+        assert freshness.applied_delta_rows == 6
+        assert freshness.staleness_seconds(now=305.0) == 5.0
+
+    def test_note_run(self):
+        freshness = ViewFreshness()
+        freshness.note_run(7, "nightly")
+        assert freshness.last_refresh_run_id == 7
+        assert freshness.last_refresh_kind == "nightly"
+
+    def test_staleness_never_negative(self):
+        freshness = ViewFreshness(created_ts=100.0)
+        assert freshness.staleness_seconds(now=50.0) == 0.0
+
+    def test_as_dict_round_trips_fields(self):
+        freshness = ViewFreshness()
+        freshness.mark_refreshed(delta_rows=3, ts=1.0)
+        freshness.note_run(2, "maintain_lattice")
+        assert freshness.as_dict() == {
+            "last_refresh_ts": 1.0,
+            "last_refresh_run_id": 2,
+            "last_refresh_kind": "maintain_lattice",
+            "refresh_count": 1,
+            "applied_delta_rows": 3,
+        }
+
+
+class TestIntegrityEvents:
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            IntegrityEvent(severity="fatal", kind="x", view="v", message="m")
+
+    def test_record_events_feeds_labelled_counters(self):
+        metrics = MetricsRegistry()
+        events = [
+            IntegrityEvent("critical", "certificate-drift", "SID", "m1"),
+            IntegrityEvent("critical", "recompute-mismatch", "SID", "m2"),
+            IntegrityEvent("warning", "parent-mismatch", "SiC", "m3"),
+        ]
+        record_events(events, metrics=metrics)
+        assert metrics.counter(
+            "integrity.events", labels={"severity": "critical"}
+        ).snapshot() == 2
+        assert metrics.counter(
+            "integrity.events", labels={"severity": "warning"}
+        ).snapshot() == 1
+        assert metrics.counter(
+            "integrity.findings",
+            labels={"kind": "parent-mismatch", "view": "SiC"},
+        ).snapshot() == 1
+
+
+class TestDeltaScaling:
+    """Certificate maintenance is O(|summary-delta|), not O(|view|)."""
+
+    def test_cert_digests_scale_with_delta_not_view(self):
+        rng = random.Random(7)
+        from repro.workload import (
+            RetailConfig,
+            build_retail_warehouse,
+            generate_retail,
+            update_generating_changes,
+        )
+        from repro.warehouse import run_nightly_maintenance
+
+        def digests_for(pos_rows, change_rows):
+            data = generate_retail(RetailConfig(
+                pos_rows=pos_rows, seed=11, n_dates=10
+            ))
+            warehouse = build_retail_warehouse(data)
+            changes = update_generating_changes(
+                data.pos, data.config, change_rows, rng
+            )
+            warehouse.stage_insertions("pos", changes.insertions.rows())
+            warehouse.stage_deletions("pos", changes.deletions.rows())
+            with trace() as recorder:
+                run_nightly_maintenance(warehouse)
+            return recorder.root.total_counter("cert_digests")
+
+        same_delta_small_view = digests_for(400, 40)
+        same_delta_large_view = digests_for(4000, 40)
+        larger_delta = digests_for(400, 200)
+
+        assert same_delta_small_view > 0
+        # 10x the view size must not blow up the digest count: the work is
+        # bounded by the summary delta, and a bigger fact table only
+        # *shrinks* the per-group delta overlap.  Allow 3x slack for
+        # grouping differences between the two datasets.
+        assert same_delta_large_view <= 3 * same_delta_small_view
+        # 5x the delta on the same dataset must grow the digest count.
+        assert larger_delta > same_delta_small_view

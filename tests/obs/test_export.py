@@ -170,3 +170,76 @@ class TestHistogramCumulativeBuckets:
         assert buckets[1] == (4.0, 2)   # value 2 cumulates into le=4
         assert buckets[-1] == (float("inf"), 3)
         assert len(buckets) == len(BUCKET_BOUNDS) + 1
+
+
+class TestPrometheusLabels:
+    def test_labelled_counter_rendered_with_sorted_labels(self):
+        from repro.obs import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.counter("integrity.findings",
+                    labels={"view": "SID", "kind": "drift"}).inc(2)
+        text = prometheus_text(reg)
+        assert (
+            'repro_integrity_findings{kind="drift",view="SID"} 2' in text
+        )
+
+    def test_one_type_line_per_family(self):
+        from repro.obs import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.gauge("view.ok", labels={"view": "a"}).set(1)
+        reg.gauge("view.ok", labels={"view": "b"}).set(0)
+        text = prometheus_text(reg)
+        assert text.count("# TYPE repro_view_ok gauge") == 1
+        assert 'repro_view_ok{view="a"} 1' in text
+        assert 'repro_view_ok{view="b"} 0' in text
+
+    def test_label_value_escaping(self):
+        from repro.obs import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"path": 'a\\b"c\nd'}).inc()
+        text = prometheus_text(reg)
+        assert 'repro_c{path="a\\\\b\\"c\\nd"} 1' in text
+        # The rendered exposition stays one line per sample.
+        assert all(" 1" in l or l.startswith("#")
+                   for l in text.strip().splitlines())
+
+    def test_label_name_sanitised(self):
+        from repro.obs import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"view-name": "x", "9th": "y"}).inc()
+        text = prometheus_text(reg)
+        assert 'view_name="x"' in text
+        assert '_9th="y"' in text
+
+    def test_labelled_histogram_merges_le(self):
+        from repro.obs import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.histogram("h", labels={"stage": "s1"}).observe(2)
+        text = prometheus_text(reg)
+        assert 'repro_h_bucket{stage="s1",le="+Inf"} 1' in text
+        assert 'repro_h_count{stage="s1"} 1' in text
+        assert 'repro_h_sum{stage="s1"}' in text
+
+
+class TestMetricLabels:
+    def test_metric_key_distinguishes_label_sets(self):
+        from repro.obs.metrics import metric_key
+
+        assert metric_key("c", None) == "c"
+        assert metric_key("c", {}) == "c"
+        assert metric_key("c", {"a": 1, "b": 2}) == metric_key(
+            "c", {"b": 2, "a": 1}
+        )
+        assert metric_key("c", {"a": 1}) != metric_key("c", {"a": 2})
+
+    def test_registry_separates_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels={"view": "a"}).inc()
+        reg.counter("c", labels={"view": "b"}).inc(5)
+        assert reg.counter("c", labels={"view": "a"}).snapshot() == 1
+        assert reg.counter("c", labels={"view": "b"}).snapshot() == 5

@@ -92,20 +92,48 @@ class TestAppend:
         kinds = {r["kind"] for r in parsed}
         assert len(kinds) == threads_n * appends_each  # none lost
 
-    def test_malformed_line_fails_loudly(self, tmp_path):
+    def test_malformed_mid_file_line_fails_loudly(self, tmp_path):
         path = tmp_path / "runs.jsonl"
         ledger = RunLedger(path)
         ledger.append(run_record())
         with path.open("a") as handle:
             handle.write("{not json\n")
+        with pytest.warns(UserWarning):  # append self-heals trailing junk...
+            ledger.append(run_record())
+        # ...so plant the malformed line mid-file by hand:
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{not json")
+        path.write_text("\n".join(lines) + "\n")
         with pytest.raises(ValueError, match="line 2"):
             ledger.records()
 
-    def test_non_object_line_fails_loudly(self, tmp_path):
+    def test_truncated_trailing_line_warns_and_is_dropped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        ledger.append(run_record())
+        with path.open("a") as handle:
+            handle.write('{"kind": "maintain_latt')  # crash mid-append
+        with pytest.warns(UserWarning, match="truncated trailing"):
+            records = ledger.records()
+        assert len(records) == 1
+
+    def test_append_heals_truncated_trailing_line(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        ledger.append(run_record())
+        with path.open("a") as handle:
+            handle.write('{"kind": "night')  # crash mid-append
+        with pytest.warns(UserWarning, match="truncated trailing"):
+            stamped = ledger.append(run_record())
+        # The half-written line is gone and run_ids stay gapless.
+        assert stamped["run_id"] == 2
+        assert [r["run_id"] for r in ledger.records()] == [1, 2]
+
+    def test_non_object_trailing_line_warns(self, tmp_path):
         path = tmp_path / "runs.jsonl"
         path.write_text("[1, 2, 3]\n")
-        with pytest.raises(ValueError, match="not a JSON object"):
-            RunLedger(path).records()
+        with pytest.warns(UserWarning, match="truncated trailing"):
+            assert RunLedger(path).records() == []
 
 
 class TestActiveLedger:

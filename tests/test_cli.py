@@ -218,7 +218,9 @@ class TestLedgerCommands:
 
     def test_regress_schema_error_exits_2(self, tmp_path, capsys, monkeypatch):
         path = tmp_path / "runs.jsonl"
-        path.write_text("{broken\n")
+        # Mid-file corruption is unrecoverable; only a truncated *trailing*
+        # line (crash mid-append) is tolerated.
+        path.write_text('{broken\n{"kind": "nightly", "run_id": 1}\n')
         monkeypatch.setenv("REPRO_LEDGER", str(path))
         assert main(["regress"]) == 2
 
@@ -256,3 +258,55 @@ class TestMetricsCommand:
     def test_refuses_under_kill_switch(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE", "0")
         assert main(["metrics"]) == 2
+
+
+class TestStatusCommand:
+    ARGS = ["status", "--pos-rows", "400", "--changes", "40"]
+
+    def test_prints_table_and_exits_0(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        for name in ("SID_sales", "sCD_sales", "SiC_sales", "sR_sales"):
+            assert name in out
+        assert "DRIFT" not in out
+
+    def test_prom_output(self, capsys):
+        assert main(self.ARGS + ["--prom"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_freshness_staleness_seconds{view="SID_sales"}' in out
+        assert 'repro_integrity_certificate_ok{view="sR_sales"} 1' in out
+
+
+class TestAuditCommand:
+    ARGS = ["audit", "--pos-rows", "400", "--changes", "40"]
+
+    def test_clean_full_audit_exits_0(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+
+    def test_clean_sample_audit_exits_0(self, capsys):
+        assert main(self.ARGS + ["--sample", "5"]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "kind", ["mutate", "drop", "phantom", "missed-delta"]
+    )
+    def test_injected_corruption_exits_1(self, kind, capsys):
+        code = main(self.ARGS + ["--inject", kind, "--view", "SID_sales"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert f"injected: {kind}" in out
+        assert "verdict: FAIL (SID_sales)" in out
+
+    def test_report_written(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "audit.json"
+        assert main(self.ARGS + ["--report", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "audit"
+        assert report["passed"] is True
+        assert set(report["views"]) == {
+            "SID_sales", "sCD_sales", "SiC_sales", "sR_sales"
+        }
