@@ -32,7 +32,8 @@ import random
 import time
 from typing import Callable, Sequence
 
-from ..core.propagate import PropagateOptions
+from ..core.propagate import PropagateOptions, compute_summary_delta
+from ..core.refresh import refresh
 from ..lattice.plan import (
     build_lattice_for_views,
     effective_level_workers,
@@ -40,6 +41,7 @@ from ..lattice.plan import (
     propagation_levels,
 )
 from ..obs import tracing
+from ..relational.stats import measuring
 from ..relational.aggregation import (
     AggregateSpec,
     MaxReducer,
@@ -196,16 +198,164 @@ def run_lattice(
     workers, fallback = effective_level_workers(
         parallel_options, propagation_levels(lattice)
     )
-    return {
+    result = {
         "pos_rows": pos_rows,
         "change_size": change_size,
         "views": list(lattice.order),
         "repeats": repeats,
         "serial_propagate_s": round(serial_s, 6),
         "level_parallel_propagate_s": round(parallel_s, 6),
-        "speedup_level_parallel": round(serial_s / parallel_s, 3),
         "level_parallel_workers": workers,
         "level_parallel_fallback": fallback,
+    }
+    if fallback:
+        # The dispatcher degraded to the serial walk (one usable CPU), so a
+        # "speedup" would just be noise around 1.0x measured twice; record
+        # why instead of a misleading ratio.
+        result["fallback_reason"] = "single_cpu"
+    else:
+        result["speedup_level_parallel"] = round(serial_s / parallel_s, 3)
+    return result
+
+
+def _access_units(snapshot: dict) -> int:
+    """Sum a stats snapshot's access counters (``as_dict`` includes a
+    precomputed ``total`` key that must not be double-counted)."""
+    return sum(value for key, value in snapshot.items() if key != "total")
+
+
+def run_shared_scan(
+    pos_rows: int = 50_000, change_size: int = 5_000, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Time lattice propagate with the shared-scan engine off vs on.
+
+    The shared engine (:mod:`repro.relational.fused`) replaces each sibling
+    group's k join+aggregate pipelines with one fused pass over the parent's
+    summary delta.  Both runs must produce byte-identical deltas — same
+    rows, same order — which is asserted before anything is timed.
+    """
+    data = generate_retail(RetailConfig(pos_rows=pos_rows, seed=1997))
+    views = [
+        MaterializedView.build(definition)
+        for definition in retail_view_definitions(data.pos)
+    ]
+    changes = update_generating_changes(data.pos, data.config, change_size, data.rng)
+    lattice = build_lattice_for_views(views)
+
+    legacy_options = PropagateOptions(shared_scan=False)
+    shared_options = PropagateOptions(shared_scan=True)
+
+    legacy = propagate_lattice(lattice, changes, legacy_options)
+    shared = propagate_lattice(lattice, changes, shared_options)
+    for name, delta in legacy.items():
+        if delta.table.rows() != shared[name].table.rows():
+            raise AssertionError(f"shared-scan delta differs for {name!r}")
+
+    with measuring() as measured:
+        propagate_lattice(lattice, changes, legacy_options)
+    legacy_units = _access_units(measured.snapshot().as_dict())
+    with measuring() as measured:
+        propagate_lattice(lattice, changes, shared_options)
+    shared_units = _access_units(measured.snapshot().as_dict())
+
+    legacy_s = _best_of(
+        lambda: propagate_lattice(lattice, changes, legacy_options), repeats
+    )
+    shared_s = _best_of(
+        lambda: propagate_lattice(lattice, changes, shared_options), repeats
+    )
+    groups = [list(group) for group in lattice.sibling_groups()]
+    return {
+        "pos_rows": pos_rows,
+        "change_size": change_size,
+        "repeats": repeats,
+        "sibling_groups": groups,
+        "scans_saved": sum(len(group) - 1 for group in groups),
+        "legacy_propagate_s": round(legacy_s, 6),
+        "shared_propagate_s": round(shared_s, 6),
+        "speedup_shared_scan": round(legacy_s / shared_s, 3),
+        "legacy_access_units": legacy_units,
+        "shared_access_units": shared_units,
+        "access_units_saved": legacy_units - shared_units,
+    }
+
+
+def run_refresh_index(
+    pos_scales: Sequence[int] = (4_000, 16_000), change_size: int = 400
+) -> dict:
+    """Show refresh locates groups in O(|summary-delta|) tuple accesses with
+    the group-key index and O(|summary table|) without it.
+
+    The same fixed-size change set is refreshed into warehouses of growing
+    scale, once per locator mode (``REPRO_REFRESH_INDEX`` 1/0).  Only the
+    SUM/COUNT retail views participate: MIN/MAX views can trigger base-data
+    recomputation, whose O(|fact|) scans would drown the lookup cost being
+    measured in both modes.  Under the index the access total tracks the
+    (flat) delta size; the scan fallback grows with the summary tables.
+    Final summary tables must be identical across modes, and the refresh
+    must leave every group-key index exact (``Table.verify_indexes``).
+    """
+    scales: list[dict] = []
+    definitions: list = []
+    for pos_rows in pos_scales:
+        data = generate_retail(RetailConfig(pos_rows=pos_rows, seed=7))
+        definitions = [
+            definition for definition in retail_view_definitions(data.pos)
+            if all(
+                output.function.kind not in ("min", "max")
+                for output in definition.aggregates
+            )
+        ]
+        changes = update_generating_changes(
+            data.pos, data.config, change_size, data.rng
+        )
+        entry: dict = {"pos_rows": pos_rows}
+        finals: dict[str, dict] = {}
+        for mode, flag in (("indexed", "1"), ("scan", "0")):
+            prior = os.environ.get("REPRO_REFRESH_INDEX")
+            os.environ["REPRO_REFRESH_INDEX"] = flag
+            try:
+                views = [MaterializedView.build(d) for d in definitions]
+                deltas = [
+                    compute_summary_delta(view.definition, changes)
+                    for view in views
+                ]
+                with measuring() as measured:
+                    for view, delta in zip(views, deltas):
+                        refresh(view, delta)
+                units = _access_units(measured.snapshot().as_dict())
+            finally:
+                if prior is None:
+                    os.environ.pop("REPRO_REFRESH_INDEX", None)
+                else:
+                    os.environ["REPRO_REFRESH_INDEX"] = prior
+            finals[mode] = {
+                view.definition.name: view.table.sorted_rows() for view in views
+            }
+            entry[f"{mode}_access_units"] = units
+            if mode == "indexed":
+                entry["summary_rows"] = sum(len(view.table) for view in views)
+                entry["delta_rows"] = sum(len(delta.table) for delta in deltas)
+                if not all(view.table.verify_indexes() for view in views):
+                    raise AssertionError(
+                        "refresh left a group-key index inconsistent"
+                    )
+        if finals["indexed"] != finals["scan"]:
+            raise AssertionError("refresh modes disagree on final summary tables")
+        scales.append(entry)
+
+    first, last = scales[0], scales[-1]
+
+    def growth(key: str) -> float | None:
+        return round(last[key] / first[key], 3) if first[key] else None
+
+    return {
+        "change_size": change_size,
+        "views": [definition.name for definition in definitions],
+        "scales": scales,
+        "summary_rows_growth": growth("summary_rows"),
+        "indexed_access_growth": growth("indexed_access_units"),
+        "scan_access_growth": growth("scan_access_units"),
     }
 
 
@@ -331,12 +481,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         change_size=max(rows // 40, 500),
         repeats=repeats,
     )
+    if "speedup_level_parallel" in lattice:
+        verdict = f"({lattice['speedup_level_parallel']:.2f}x)"
+    else:
+        verdict = f"(fallback: {lattice['fallback_reason']})"
     print(
         f"propagate_lattice over {lattice['pos_rows']:,} pos rows, "
         f"{lattice['change_size']:,} changes: "
         f"serial {lattice['serial_propagate_s']:.3f}s, "
         f"level-parallel {lattice['level_parallel_propagate_s']:.3f}s "
-        f"({lattice['speedup_level_parallel']:.2f}x)"
+        f"{verdict}"
+    )
+
+    shared = run_shared_scan(
+        pos_rows=max(rows // 4, 2_000),
+        change_size=max(rows // 40, 500),
+        repeats=repeats,
+    )
+    print(
+        f"shared-scan propagate over {shared['pos_rows']:,} pos rows, "
+        f"{shared['change_size']:,} changes: "
+        f"legacy {shared['legacy_propagate_s']:.3f}s, "
+        f"shared {shared['shared_propagate_s']:.3f}s "
+        f"({shared['speedup_shared_scan']:.2f}x, "
+        f"{shared['scans_saved']} scans saved, "
+        f"{shared['legacy_access_units']:,} -> "
+        f"{shared['shared_access_units']:,} access units)"
+    )
+
+    refresh_index = run_refresh_index(
+        pos_scales=(2_000, 8_000) if args.quick else (4_000, 16_000),
+        change_size=200 if args.quick else 400,
+    )
+    low, high = refresh_index["scales"][0], refresh_index["scales"][-1]
+    print(
+        f"refresh locator over {low['pos_rows']:,}->{high['pos_rows']:,} pos "
+        f"rows ({refresh_index['change_size']:,} changes): summary rows "
+        f"x{refresh_index['summary_rows_growth']}, indexed accesses "
+        f"x{refresh_index['indexed_access_growth']}, scan accesses "
+        f"x{refresh_index['scan_access_growth']}"
     )
 
     overhead = run_trace_overhead(rows=rows, repeats=repeats)
@@ -349,6 +532,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     path = write_bench_json("micro", micro, args.output)
     write_bench_json("lattice", lattice, args.output)
+    write_bench_json("shared_scan", shared, args.output)
+    write_bench_json("refresh_index", refresh_index, args.output)
     write_bench_json("trace_overhead", overhead, args.output)
     print(f"results merged into {path}")
 

@@ -329,9 +329,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     )
     lattice = build_lattice_for_views(views)
     stats = collect_statistics(lattice, changes, views=views)
-    estimate = estimate_plan_cost(lattice, stats)
     options = PropagateOptions(
         parallel=args.parallel, level_parallel=args.parallel
+    )
+    estimate = estimate_plan_cost(
+        lattice, stats, shared_scan=options.shared_scan_active()
     )
     workers, fallback = effective_level_workers(options, estimate.levels)
 
@@ -342,15 +344,21 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     )
     header = (
         f"{'node':<12} {'lvl':>3}  {'source':<12} {'joins':<16} "
-        f"{'est.delta':>10} {'est.accesses':>13}"
+        f"{'scan':<6} {'est.delta':>10} {'est.accesses':>13}"
     )
     print(header)
     print("-" * len(header))
     for name in estimate.order:
         node = estimate.nodes[name]
+        if not node.shared_scan:
+            scan = "-"
+        elif node.scan_owner:
+            scan = "owner"
+        else:
+            scan = "fused"
         print(
             f"{node.name:<12} {node.level:>3}  {node.source:<12} "
-            f"{','.join(node.joins) or '-':<16} "
+            f"{','.join(node.joins) or '-':<16} {scan:<6} "
             f"{node.delta_rows:>10,.0f} {node.propagate_accesses:>13,.0f}"
         )
     print(
@@ -362,6 +370,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         f"\nrefresh (lower bound):     "
         f"{estimate.refresh_accesses:>13,.0f} accesses"
     )
+    if estimate.shared_scan:
+        print(
+            f"shared-scan engine:        "
+            f"{estimate.shared_scan_saved_accesses:>13,.0f} accesses saved "
+            f"vs per-child pipelines ({estimate.per_child_accesses:,.0f})"
+        )
     if not options.level_parallel:
         schedule = "serial topological walk"
     elif fallback:

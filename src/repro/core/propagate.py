@@ -75,6 +75,14 @@ class PropagateOptions:
         same-level (antichain) D-lattice nodes concurrently once their
         parents' deltas are ready, instead of walking the strict
         topological order.
+    ``shared_scan``
+        In :func:`~repro.lattice.plan.propagate_lattice`, fuse the
+        group-bys of sibling D-lattice children into a single compiled
+        pass over their parent's delta (one scan, k accumulator sets; see
+        :mod:`repro.relational.fused`) instead of one join+aggregate
+        pipeline per child.  ``None`` (the default) defers to the
+        ``REPRO_SHARED_SCAN`` environment kill-switch; the deltas are
+        identical either way.
     """
 
     policy: MinMaxPolicy = MinMaxPolicy.PAPER
@@ -84,6 +92,7 @@ class PropagateOptions:
     backend: str = "thread"
     max_workers: int | None = None
     level_parallel: bool = False
+    shared_scan: bool | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.chunks, int) or isinstance(self.chunks, bool) \
@@ -96,6 +105,16 @@ class PropagateOptions:
                 f"unknown backend {self.backend!r}; expected one of "
                 f"{', '.join(BACKENDS)}"
             )
+
+    def shared_scan_active(self) -> bool:
+        """Whether lattice propagation should run the shared-scan engine:
+        the explicit ``shared_scan`` option when set, otherwise the
+        ``REPRO_SHARED_SCAN`` environment default."""
+        if self.shared_scan is not None:
+            return self.shared_scan
+        from ..relational.fused import shared_scan_enabled
+
+        return shared_scan_enabled()
 
     def aggregate(self, table, keys, specs, name=None):
         """Run one propagate aggregation under these options: chunked and

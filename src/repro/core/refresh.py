@@ -24,6 +24,13 @@ observation:
 
 Both variants share the decision logic and produce identical final states.
 
+Group lookup goes through :class:`GroupLocator`: by default one hash probe
+per delta tuple on the summary table's group-key index (built once if
+missing, maintained incrementally thereafter), making refresh
+O(|summary-delta|).  ``REPRO_REFRESH_INDEX=0`` falls back to a linear scan
+of the summary table per delta tuple — the O(|summary table|) baseline the
+``refresh_index`` benchmark section measures against.
+
 Engineering note on recomputation: Figure 7 recomputes a group "from the
 base data for t's group" — in the paper's RDBMS that is one query per
 group.  Issuing one scan per group would distort our cost model (we have no
@@ -36,12 +43,14 @@ identical; only the access pattern differs.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import InconsistentDeltaError, MaintenanceError
 from ..obs import metrics as obs_metrics
 from ..obs import tracing
+from ..relational.stats import collector
 from ..relational.table import Row
 from ..relational.types import null_max, null_min
 from ..views.definition import SummaryViewDefinition
@@ -59,6 +68,87 @@ class RefreshVariant(enum.Enum):
 
     CURSOR = "cursor"
     OUTER_JOIN = "outer_join"
+
+
+def refresh_index_enabled() -> bool:
+    """Whether refresh locates groups through the summary table's group-key
+    hash index (the Figure 7 fast path).  ``REPRO_REFRESH_INDEX=0`` disables
+    it, restoring the linear-scan-per-tuple baseline."""
+    return os.environ.get("REPRO_REFRESH_INDEX", "1") != "0"
+
+
+class GroupLocator:
+    """Figure 7's "find the summary tuple with t's group-by values".
+
+    The strategy depends on the view and the ``REPRO_REFRESH_INDEX``
+    kill-switch:
+
+    * grouped view, index enabled (the default): one hash probe per delta
+      tuple against the table's group-key index — O(1) per tuple, so a
+      whole refresh costs O(|summary-delta|) tuple accesses regardless of
+      summary-table size.  The index is built once if the table does not
+      already have it, then maintained incrementally by the table's
+      mutation hooks — including through
+      :func:`~repro.core.transactional.refresh_atomically` rollback, whose
+      undo log replays inverses via those same hooks.
+    * grouped view, ``REPRO_REFRESH_INDEX=0``: a fresh linear scan of the
+      summary table per delta tuple — the O(|summary table|) baseline the
+      ``refresh_index`` benchmark section contrasts against.  Rows examined
+      are charged as ``rows_scanned`` to the stats collector and span.
+    * no-group-by view: single-row table; the first live slot is the
+      group's row in both modes (no index involved).
+
+    ``probes`` counts ``slot_of`` calls; the surrounding refresh span
+    records it as ``index_probes`` (or ``scan_probes`` when the index is
+    disabled) and the metrics registry as ``refresh.index_probes``.
+    """
+
+    __slots__ = ("_table", "_arity", "_index", "probes")
+
+    def __init__(self, view: MaterializedView):
+        definition = view.definition
+        self._table = view.table
+        self._arity = len(definition.group_by)
+        self.probes = 0
+        self._index = None
+        if self._arity and refresh_index_enabled():
+            index = view.group_key_index()
+            if index is None:
+                index = view.table.create_index(list(definition.group_by))
+            self._index = index
+
+    @property
+    def indexed(self) -> bool:
+        """Whether probes go through the group-key hash index."""
+        return self._index is not None
+
+    def slot_of(self, key: GroupKey) -> int | None:
+        """Slot of the live summary row whose group-by values equal *key*,
+        or ``None`` when the group is absent from the view."""
+        self.probes += 1
+        if self._index is not None:
+            return self._index.lookup_one(key)
+        arity = self._arity
+        examined = 0
+        found = None
+        for slot, row in enumerate(self._table._rows):  # noqa: SLF001
+            if row is None:
+                continue
+            if not arity:
+                found = slot
+                break
+            examined += 1
+            if row[:arity] == key:
+                found = slot
+                break
+        if examined:
+            stats = collector()
+            if stats is not None:
+                stats.add("rows_scanned", examined)
+            span = tracing.current_span()
+            if span is not None:
+                span.add("rows_scanned", examined)
+        return found
 
 
 @dataclass
@@ -320,13 +410,19 @@ def refresh(
     with tracing.span(
         "refresh", view=view.definition.name, variant=variant.value,
     ) as span:
-        stats = _refresh_impl(view, delta, recompute, variant, assume_all_new)
-        _record_refresh_stats(span, stats)
+        locator = GroupLocator(view)
+        span.set_tag("indexed", locator.indexed)
+        stats = _refresh_impl(
+            view, delta, recompute, variant, assume_all_new, locator
+        )
+        _record_refresh_stats(span, stats, locator)
         view.freshness.mark_refreshed(stats.delta_rows)
         return stats
 
 
-def _record_refresh_stats(span, stats: RefreshStats) -> None:
+def _record_refresh_stats(
+    span, stats: RefreshStats, locator: GroupLocator | None = None
+) -> None:
     """Mirror one refresh run's action counts onto its span and the
     process-wide metrics registry."""
     span.add("delta_rows", stats.delta_rows)
@@ -334,6 +430,12 @@ def _record_refresh_stats(span, stats: RefreshStats) -> None:
     span.add("updated", stats.updated)
     span.add("deleted", stats.deleted)
     span.add("recomputed", stats.recomputed)
+    if locator is not None and locator.probes:
+        # Not an access counter (the probes themselves charge
+        # ``index_lookups``/``rows_scanned``); this records *how* groups
+        # were located so traces can tell the two regimes apart.
+        span.add("index_probes" if locator.indexed else "scan_probes",
+                 locator.probes)
     if tracing.enabled():
         registry = obs_metrics.registry()
         registry.counter("refresh.delta_rows").inc(stats.delta_rows)
@@ -341,6 +443,8 @@ def _record_refresh_stats(span, stats: RefreshStats) -> None:
         registry.counter("refresh.updated").inc(stats.updated)
         registry.counter("refresh.deleted").inc(stats.deleted)
         registry.counter("refresh.recomputed").inc(stats.recomputed)
+        if locator is not None and locator.indexed and locator.probes:
+            registry.counter("refresh.index_probes").inc(locator.probes)
         cert_digests = span.counters.get("cert_digests", 0)
         if cert_digests:
             registry.counter("integrity.cert_digests").inc(cert_digests)
@@ -352,10 +456,10 @@ def _refresh_impl(
     recompute: RecomputeFn | None,
     variant: RefreshVariant,
     assume_all_new: bool,
+    locator: GroupLocator,
 ) -> RefreshStats:
     plan = RefreshPlan(view.definition, delta.policy)
     stats = RefreshStats(delta_rows=len(delta.table))
-    index = view.group_key_index()
     actions = RefreshActions()
     name = view.definition.name
     g = plan.group_arity
@@ -382,7 +486,7 @@ def _refresh_impl(
         # see the module docstring).
         for delta_row in delta.table.scan():
             key = delta_row[:g]
-            slot = index.lookup_one(key) if index is not None else _global_slot(view)
+            slot = locator.slot_of(key)
             old_row = view.table.row_at(slot) if slot is not None else None
             local = RefreshActions()
             decide(plan, name, old_row, delta_row, key, slot, local)
@@ -399,7 +503,7 @@ def _refresh_impl(
     else:
         for delta_row in delta.table.scan():
             key = delta_row[:g]
-            slot = index.lookup_one(key) if index is not None else _global_slot(view)
+            slot = locator.slot_of(key)
             old_row = view.table.row_at(slot) if slot is not None else None
             decide(plan, name, old_row, delta_row, key, slot, actions)
         for row in actions.inserts:
@@ -434,11 +538,3 @@ def _refresh_impl(
                 view.table.update_slot(slot, key + values)
             stats.recomputed += 1
     return stats
-
-
-def _global_slot(view: MaterializedView) -> int | None:
-    """Slot of the single row of a no-group-by view, or ``None``."""
-    for slot, row in enumerate(view.table._rows):  # noqa: SLF001
-        if row is not None:
-            return slot
-    return None

@@ -27,6 +27,7 @@ from ..obs import tracing
 from ..views.materialize import MaterializedView
 from .deltas import SummaryDelta
 from .refresh import (
+    GroupLocator,
     RecomputeFn,
     RefreshActions,
     RefreshPlan,
@@ -92,10 +93,12 @@ def refresh_atomically(
     with tracing.span(
         "refresh_atomic", view=view.definition.name,
     ) as refresh_span:
+        locator = GroupLocator(view)
+        refresh_span.set_tag("indexed", locator.indexed)
         stats = _refresh_atomically_impl(
-            view, delta, recompute, failure_hook, refresh_span
+            view, delta, recompute, failure_hook, refresh_span, locator
         )
-        _record_refresh_stats(refresh_span, stats)
+        _record_refresh_stats(refresh_span, stats, locator)
         view.freshness.mark_refreshed(stats.delta_rows)
         return stats
 
@@ -106,10 +109,10 @@ def _refresh_atomically_impl(
     recompute: RecomputeFn | None,
     failure_hook: FailureHook | None,
     refresh_span,
+    locator: GroupLocator,
 ) -> RefreshStats:
     plan = RefreshPlan(view.definition, delta.policy)
     stats = RefreshStats(delta_rows=len(delta.table))
-    index = view.group_key_index()
     arity = plan.group_arity
     name = view.definition.name
 
@@ -117,14 +120,7 @@ def _refresh_atomically_impl(
     actions = RefreshActions()
     for delta_row in delta.table.scan():
         key = delta_row[:arity]
-        if index is not None:
-            slot = index.lookup_one(key)
-        else:
-            slot = next(
-                (s for s, row in enumerate(view.table._rows)  # noqa: SLF001
-                 if row is not None),
-                None,
-            )
+        slot = locator.slot_of(key)
         old_row = view.table.row_at(slot) if slot is not None else None
         decide(plan, name, old_row, delta_row, key, slot, actions)
 

@@ -24,6 +24,12 @@ rows_deleted + rows_updated + index_lookups``, the canonical
 * a **derived** node replays its lattice edge over the parent's delta:
   3 accesses per edge dimension join per parent-delta row, 1 aggregation
   scan, plus the child-delta inserts;
+* under **shared-scan** propagation (the default; see
+  :mod:`repro.relational.fused`) sibling derived nodes fuse into one pass:
+  the single input scan is charged to each group's first node (the *scan
+  owner*, matching the engine's span accounting), every node pays one
+  probe per parent-delta row per edge join (the dict probe replaces the
+  3-access join pipeline), plus its child-delta inserts;
 * **refresh** pays one group-index lookup and one touch (update / insert /
   delete) per delta row.  MIN/MAX recomputation scans are data-dependent
   (they depend on *which* extrema the deletions displace) and are
@@ -172,6 +178,15 @@ class NodeCostEstimate:
     #: Estimated refresh tuple accesses (lookup + touch per delta row;
     #: excludes data-dependent MIN/MAX recomputation scans).
     refresh_accesses: float
+    #: What this node would cost through the legacy per-child edge replay
+    #: — equals ``propagate_accesses`` unless the estimate was built for
+    #: shared-scan propagation, in which case the difference is the
+    #: predicted saving of the fused scan.
+    per_child_accesses: float = 0.0
+    #: Whether ``propagate_accesses`` models the fused shared-scan engine
+    #: (and, for derived nodes, whether this node owns its group's scan).
+    shared_scan: bool = False
+    scan_owner: bool = False
 
     @property
     def is_root(self) -> bool:
@@ -185,6 +200,8 @@ class PlanCostEstimate:
     nodes: dict[str, NodeCostEstimate]
     order: tuple[str, ...]
     levels: tuple[tuple[str, ...], ...]
+    #: Whether the estimate models shared-scan propagation.
+    shared_scan: bool = False
 
     @property
     def with_lattice_accesses(self) -> float:
@@ -207,6 +224,17 @@ class PlanCostEstimate:
     @property
     def refresh_accesses(self) -> float:
         return sum(node.refresh_accesses for node in self.nodes.values())
+
+    @property
+    def per_child_accesses(self) -> float:
+        """Predicted propagate accesses through the legacy per-child path."""
+        return sum(node.per_child_accesses for node in self.nodes.values())
+
+    @property
+    def shared_scan_saved_accesses(self) -> float:
+        """Predicted accesses the fused shared scan saves over per-child
+        propagation (0 when the estimate does not model shared scan)."""
+        return self.per_child_accesses - self.with_lattice_accesses
 
 
 def _direct_cost(
@@ -239,21 +267,46 @@ def _derived_cost(
     return delta_rows, per_row * parent_delta_rows + delta_rows
 
 
+def _shared_cost(
+    edge, parent_delta_rows: float, delta_rows: float, scan_owner: bool
+) -> float:
+    """Accesses for a derived node inside a fused shared scan: the group's
+    single input scan (charged to the scan owner only), one dimension
+    probe per parent-delta row per edge join, and the child-delta inserts
+    — mirroring how the engine charges ``rows_scanned`` /
+    ``index_lookups`` / ``rows_inserted`` on the ``node:<name>`` spans."""
+    joins = len(edge.dimension_joins)
+    accesses = joins * parent_delta_rows + delta_rows
+    if scan_owner:
+        accesses += parent_delta_rows
+    return accesses
+
+
 def estimate_plan_cost(
-    lattice: ViewLattice, stats: LatticeStatistics
+    lattice: ViewLattice,
+    stats: LatticeStatistics,
+    shared_scan: bool | None = None,
 ) -> PlanCostEstimate:
     """Predict per-node propagate and refresh work for a lattice plan.
 
-    The estimates depend only on the plan and the statistics — never on
-    engine options: the parallel engine (chunked folds, level scheduling)
-    changes wall-clock overlap, not the number of tuples touched.
+    The estimates depend only on the plan, the statistics, and the
+    propagation *strategy*: the parallel engine knobs (chunked folds,
+    level scheduling) change wall-clock overlap, not the number of tuples
+    touched — but shared-scan propagation genuinely touches fewer tuples,
+    so *shared_scan* selects which engine the estimate mirrors.  ``None``
+    (the default) follows the ``REPRO_SHARED_SCAN`` environment switch,
+    i.e. what a default :func:`~repro.lattice.plan.maintain_lattice` run
+    would execute.
     """
-    from .plan import propagation_levels
+    from ..relational.fused import shared_scan_enabled
 
-    levels = propagation_levels(lattice)
+    if shared_scan is None:
+        shared_scan = shared_scan_enabled()
+    levels = lattice.propagation_levels()
     depth_of = {
         name: depth for depth, level in enumerate(levels) for name in level
     }
+    scan_owners = {group[0] for group in lattice.sibling_groups()}
     nodes: dict[str, NodeCostEstimate] = {}
     for name in lattice.order:
         node = lattice.node(name)
@@ -261,15 +314,24 @@ def estimate_plan_cost(
         direct_delta, direct_accesses = _direct_cost(
             node.definition, stats, groups
         )
+        owner = False
         if node.is_root:
             delta_rows, propagate_accesses = direct_delta, direct_accesses
+            per_child_accesses = propagate_accesses
             source: str = "changes"
             joins: tuple[str, ...] = tuple(node.definition.dimensions)
         else:
             parent_delta = nodes[node.parent].delta_rows
-            delta_rows, propagate_accesses = _derived_cost(
+            delta_rows, per_child_accesses = _derived_cost(
                 node.edge, parent_delta, groups
             )
+            if shared_scan:
+                owner = name in scan_owners
+                propagate_accesses = _shared_cost(
+                    node.edge, parent_delta, delta_rows, owner
+                )
+            else:
+                propagate_accesses = per_child_accesses
             source = node.parent
             joins = tuple(node.edge.dimension_joins)
         nodes[name] = NodeCostEstimate(
@@ -281,11 +343,15 @@ def estimate_plan_cost(
             propagate_accesses=propagate_accesses,
             direct_accesses=direct_accesses,
             refresh_accesses=2.0 * delta_rows,
+            per_child_accesses=per_child_accesses,
+            shared_scan=shared_scan and not node.is_root,
+            scan_owner=owner,
         )
     return PlanCostEstimate(
         nodes=nodes,
         order=tuple(lattice.order),
         levels=tuple(tuple(level) for level in levels),
+        shared_scan=shared_scan,
     )
 
 

@@ -98,6 +98,31 @@ class EdgeQuery:
             name=name or f"sd_{self.child.name}",
         )
 
+    def fused_child(self, policy: MinMaxPolicy) -> "FusedChild":
+        """This edge as a shared-scan kernel input (see
+        :mod:`repro.relational.fused`): the same specs ``apply_delta`` would
+        aggregate, with each dimension join reduced to (foreign-key column,
+        dimension table, dimension key) for probe-dict lookup."""
+        from ..relational.fused import FusedChild, FusedJoin
+
+        specs = list(self.view_specs)
+        if policy is MinMaxPolicy.SPLIT:
+            specs.extend(self.split_specs)
+        fact = self.parent.fact
+        joins = tuple(
+            FusedJoin(fk.column, fk.dimension.table, fk.dimension.key)
+            for fk in (
+                fact.foreign_key_for(name) for name in self.dimension_joins
+            )
+        )
+        return FusedChild(
+            name=self.child.name,
+            output_name=f"sd_{self.child.name}",
+            keys=tuple(self.child.group_by),
+            aggregates=tuple(specs),
+            joins=joins,
+        )
+
     def describe(self) -> str:
         """Short human-readable form, e.g. ``SiC_sales <= SID_sales [items]``."""
         joins = f" [{', '.join(self.dimension_joins)}]" if self.dimension_joins else ""

@@ -32,9 +32,12 @@ from ..core.deltas import SummaryDelta
 from ..core.maintenance import base_recompute_fn
 from ..core.propagate import PropagateOptions, compute_summary_delta
 from ..core.refresh import RefreshStats, RefreshVariant, refresh
+from ..obs import metrics as obs_metrics
 from ..obs import tracing
 from ..obs.ledger import active_ledger
 from ..errors import LatticeError, MaintenanceError
+from ..relational.fused import prepare_fused_scan
+from ..relational.stats import collector as stats_collector
 from ..relational.stats import measuring
 from ..views.materialize import MaterializedView, compute_rows
 from ..warehouse.batch import BatchReport, BatchWindowClock
@@ -56,31 +59,13 @@ def build_lattice_for_views(
 def propagation_levels(lattice: ViewLattice) -> list[list[str]]:
     """Group the D-lattice nodes into parent-depth levels (antichains).
 
-    Level 0 holds the roots; level *k* holds every node whose chosen
-    derivation parent sits at level *k*-1.  Each node's delta depends only
-    on its parent's delta, so all nodes of one level can be computed
-    concurrently once the previous level is complete.  Within a level,
-    nodes keep their ``lattice.order`` relative order, which makes the
-    level schedule deterministic.
+    Delegates to the lattice's memoized
+    :meth:`~repro.lattice.vlattice.ViewLattice.propagation_levels` — the
+    decomposition depends only on the (immutable) plan, so explain, the
+    cost model, and repeated maintenance runs share one computation.
+    Callers must treat the result as read-only.
     """
-    depth: dict[str, int] = {}
-    levels: list[list[str]] = []
-    for name in lattice.order:
-        node = lattice.node(name)
-        if node.is_root:
-            level = 0
-        else:
-            parent_depth = depth.get(node.parent)
-            if parent_depth is None:
-                raise LatticeError(
-                    f"parent delta {node.parent!r} missing for {name!r}"
-                )
-            level = parent_depth + 1
-        depth[name] = level
-        if level == len(levels):
-            levels.append([])
-        levels[level].append(name)
-    return levels
+    return lattice.propagation_levels()
 
 
 def effective_level_workers(
@@ -125,15 +110,30 @@ def propagate_lattice(
     the walk automatically falls back to the serial schedule; the decision
     is tagged on the ``propagate`` span (``level_parallel_fallback``) so a
     trace — and ``repro explain`` — shows which schedule actually ran.
+
+    With shared-scan propagation active (``options.shared_scan``, default
+    the ``REPRO_SHARED_SCAN`` environment switch) every level is first
+    partitioned into *sibling groups* — derived nodes sharing a derivation
+    parent — and each group's k group-bys are fused into a single compiled
+    pass over the parent's delta (:mod:`repro.relational.fused`): one scan
+    instead of k join+aggregate pipelines.  Groups, not nodes, become the
+    unit of level-parallel dispatch.  Each node still gets its own
+    ``propagate:<name>`` phase and ``node:<name>`` span; the one shared
+    input scan is charged to the group's first node (the *scan owner*), so
+    span-subtree access totals still equal the
+    :class:`~repro.relational.stats.AccessStats` totals.  Nodes whose edge
+    falls outside the fused-kernel subset fall back to the per-child path,
+    tagged ``shared_scan_fallback`` on their group's span.
     """
     clock = clock or BatchWindowClock()
     deltas: dict[str, SummaryDelta] = {}
-    levels = propagation_levels(lattice)
+    levels = lattice.propagation_levels()
     depth_of = {
         name: depth for depth, level in enumerate(levels) for name in level
     }
     workers, fallback = effective_level_workers(options, levels)
     run_level_parallel = options.level_parallel and not fallback
+    shared_scan = options.shared_scan_active()
 
     def compute(name: str,
                 parent_span: "tracing.Span | None" = None) -> SummaryDelta:
@@ -154,24 +154,128 @@ def propagate_lattice(
             node_span.add("delta_rows", len(rows))
             return SummaryDelta(node.definition, rows, options.policy)
 
+    def charge(counter: str, amount: int, span: "tracing.Span") -> None:
+        """Charge *amount* access units to the active collector and the
+        node span, mirroring how the relational operators account (both
+        sides, so span subtotals equal AccessStats totals)."""
+        if not amount:
+            return
+        stats = stats_collector()
+        if stats is not None:
+            stats.add(counter, amount)
+        if span is not tracing.NOOP_SPAN:
+            span.add(counter, amount)
+
+    def compute_group(
+        names: Sequence[str],
+        parent_span: "tracing.Span | None" = None,
+    ) -> dict[str, SummaryDelta]:
+        """Compute one sibling group's deltas through the fused kernel,
+        falling back to the per-child path when the kernel declines."""
+        parent_name = lattice.node(names[0]).parent
+        parent_delta = deltas.get(parent_name)
+        if parent_delta is None:
+            raise LatticeError(
+                f"parent delta {parent_name!r} missing for {names[0]!r}"
+            )
+        children = [
+            lattice.node(name).edge.fused_child(options.policy)
+            for name in names
+        ]
+        scan = prepare_fused_scan(parent_delta.table.schema, children)
+        with tracing.span(
+            f"shared_scan:{parent_name}", children=len(names),
+        ) as group_span:
+            if scan is None:
+                group_span.set_tag("shared_scan_fallback", "unsupported-edge")
+                return {
+                    name: compute(name, parent_span=parent_span)
+                    for name in names
+                }
+            group_span.set_tag("scans_saved", len(names) - 1)
+            if tracing.enabled():
+                registry = obs_metrics.registry()
+                registry.counter("propagate.shared_scan.groups").inc()
+                registry.counter("propagate.shared_scan.scans_saved").inc(
+                    len(names) - 1
+                )
+            rows = parent_delta.table.rows()
+            out: dict[str, SummaryDelta] = {}
+            groups: list[dict] = []
+            probes: list[int] = []
+            for index, name in enumerate(names):
+                with clock.online(
+                    f"propagate:{name}", parent=parent_span, node=name,
+                    kind="derived", level=depth_of[name], shared_scan=True,
+                ), tracing.span("node:" + name) as node_span:
+                    if index == 0:
+                        # The single input scan (and the fold it feeds) is
+                        # charged to — and timed inside — the scan owner.
+                        charge("rows_scanned", len(rows), node_span)
+                        groups, probes = scan.fold(rows)
+                    charge("index_lookups", probes[index], node_span)
+                    table = scan.finalize(index, groups[index])
+                    node_span.add("delta_rows", len(table))
+                    out[name] = SummaryDelta(
+                        lattice.node(name).definition, table, options.policy
+                    )
+            return out
+
+    def level_units(level: Sequence[str]) -> list[tuple[str, ...]]:
+        """Partition one level into dispatch units: sibling groups under
+        shared scan, single nodes otherwise (roots are always single)."""
+        if not shared_scan:
+            return [(name,) for name in level]
+        units: list[tuple[str, ...]] = []
+        group_at: dict[str, int] = {}
+        for name in level:
+            node = lattice.node(name)
+            if node.is_root:
+                units.append((name,))
+                continue
+            position = group_at.get(node.parent)
+            if position is None:
+                group_at[node.parent] = len(units)
+                units.append((name,))
+            else:
+                units[position] = units[position] + (name,)
+        return units
+
+    def run_unit(
+        unit: tuple[str, ...],
+        parent_span: "tracing.Span | None" = None,
+    ) -> dict[str, SummaryDelta]:
+        if len(unit) == 1 and (
+            not shared_scan or lattice.node(unit[0]).is_root
+        ):
+            return {unit[0]: compute(unit[0], parent_span=parent_span)}
+        return compute_group(unit, parent_span=parent_span)
+
     with tracing.span(
         "propagate", views=len(lattice.order),
-        level_parallel=run_level_parallel,
+        level_parallel=run_level_parallel, shared_scan=shared_scan,
     ) as propagate_span:
         if options.level_parallel and fallback:
             propagate_span.set_tag("level_parallel_fallback", "single-worker")
         if not run_level_parallel:
-            for name in lattice.order:
-                deltas[name] = compute(name)
-            return deltas
+            if not shared_scan:
+                for name in lattice.order:
+                    deltas[name] = compute(name)
+                return deltas
+            for level in levels:
+                for unit in level_units(level):
+                    deltas.update(run_unit(unit))
+            # Report deltas in lattice order regardless of the level walk.
+            return {name: deltas[name] for name in lattice.order}
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
             for depth, level in enumerate(levels):
+                units = level_units(level)
                 with tracing.span(
-                    f"level:{depth}", nodes=len(level),
+                    f"level:{depth}", nodes=len(level), units=len(units),
                 ) as level_span:
-                    if len(level) == 1:  # no dispatch overhead for singletons
-                        deltas[level[0]] = compute(level[0])
+                    if len(units) == 1:  # no dispatch overhead for singletons
+                        deltas.update(run_unit(units[0]))
                         continue
                     # Worker threads have their own (empty) span stacks, so
                     # their node spans must be parented explicitly.
@@ -181,11 +285,11 @@ def propagate_lattice(
                         else None
                     )
                     results = pool.map(
-                        lambda name: compute(name, parent_span=anchor), level
+                        lambda unit: run_unit(unit, parent_span=anchor), units
                     )
-                    for name, delta in zip(level, results):
-                        deltas[name] = delta
-    return deltas
+                    for computed in results:
+                        deltas.update(computed)
+    return {name: deltas[name] for name in lattice.order}
 
 
 def propagate_without_lattice(
@@ -316,7 +420,9 @@ def maintain_lattice(
                 # Predict before anything runs: table sizes and pending
                 # changes are exactly what the plan will see.
                 estimate = estimate_plan_cost(
-                    lattice, collect_statistics(lattice, changes, views=views)
+                    lattice,
+                    collect_statistics(lattice, changes, views=views),
+                    shared_scan=options.shared_scan_active(),
                 )
             deltas = propagate_lattice(lattice, changes, options, clock)
             deltas = {

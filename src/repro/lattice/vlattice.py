@@ -61,6 +61,13 @@ class ViewLattice:
         self.order = list(order)
         self.graph = graph
         self.edges = edges
+        # Memoized schedule decompositions (the lattice is immutable after
+        # build(), so these never need invalidation).  ``explain``, the cost
+        # model, and every maintenance run ask for the same antichain
+        # decomposition; computing it once per lattice instead of once per
+        # call keeps repeated explain/maintain cycles O(1) here.
+        self._levels: list[list[str]] | None = None
+        self._sibling_groups: list[list[str]] | None = None
 
     # ------------------------------------------------------------------
 
@@ -135,6 +142,67 @@ class ViewLattice:
     def roots(self) -> list[PlanNode]:
         """Views computed directly from base data / change sets."""
         return [node for node in self.nodes.values() if node.is_root]
+
+    def propagation_levels(self) -> list[list[str]]:
+        """Group the D-lattice nodes into parent-depth levels (antichains).
+
+        Level 0 holds the roots; level *k* holds every node whose chosen
+        derivation parent sits at level *k*-1.  Each node's delta depends
+        only on its parent's delta, so all nodes of one level can be
+        computed concurrently once the previous level is complete.  Within
+        a level, nodes keep their ``order`` relative order, which makes the
+        level schedule deterministic.
+
+        Memoized: callers must treat the result as read-only.
+        """
+        if self._levels is None:
+            depth: dict[str, int] = {}
+            levels: list[list[str]] = []
+            for name in self.order:
+                node = self.node(name)
+                if node.is_root:
+                    level = 0
+                else:
+                    parent_depth = depth.get(node.parent)
+                    if parent_depth is None:
+                        raise LatticeError(
+                            f"parent delta {node.parent!r} missing for {name!r}"
+                        )
+                    level = parent_depth + 1
+                depth[name] = level
+                if level == len(levels):
+                    levels.append([])
+                levels[level].append(name)
+            self._levels = levels
+        return self._levels
+
+    def sibling_groups(self) -> list[list[str]]:
+        """Derived nodes grouped into shared-scan units.
+
+        One group per (level, derivation parent) pair, in level order and
+        first-occurrence order within a level — exactly the units the
+        shared-scan propagation engine fuses into one pass over the
+        parent's delta, and the grouping the cost model mirrors when
+        predicting saved scans.  Roots are not listed (they read the change
+        set, not a parent delta).
+
+        Memoized: callers must treat the result as read-only.
+        """
+        if self._sibling_groups is None:
+            groups: list[list[str]] = []
+            for level in self.propagation_levels():
+                by_parent: dict[str, list[str]] = {}
+                for name in level:
+                    node = self.node(name)
+                    if node.is_root:
+                        continue
+                    group = by_parent.get(node.parent)
+                    if group is None:
+                        group = by_parent[node.parent] = []
+                        groups.append(group)
+                    group.append(name)
+            self._sibling_groups = groups
+        return self._sibling_groups
 
     def node(self, name: str) -> PlanNode:
         try:

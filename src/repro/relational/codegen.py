@@ -81,26 +81,36 @@ class _Unsupported(Exception):
 def _null_test(atom: str) -> str:
     """The source of ``atom is None``, constant-folded when decidable.
 
-    Row subscripts (``_r[n]``) and temporaries (``_tn``) are nullable at
-    runtime; every other atom is a literal repr or an injected constant,
-    whose nullness is known at generation time.  Folding here keeps the
-    generated source free of ``1 is None``-style tests (which CPython
-    flags with a SyntaxWarning) and lets whole branches disappear.
+    Row subscripts (``_r[n]``), temporaries (``_tn``) and dimension-row
+    subscripts (``_dn[m]``, used by the fused shared-scan kernel) are
+    nullable at runtime; every other atom is a literal repr or an injected
+    constant, whose nullness is known at generation time.  Folding here
+    keeps the generated source free of ``1 is None``-style tests (which
+    CPython flags with a SyntaxWarning) and lets whole branches disappear.
     """
     if atom == "None":
         return "True"
-    if atom.startswith("_r[") or atom.startswith("_t"):
+    if atom.startswith("_r[") or atom.startswith("_t") or atom.startswith("_d"):
         return f"{atom} is None"
     return "False"
 
 
 class _Emitter:
-    """Accumulates generated source lines and constant bindings."""
+    """Accumulates generated source lines and constant bindings.
 
-    def __init__(self) -> None:
+    ``column_atom`` overrides how ``Column`` references are rendered; the
+    default subscripts the scan row (``_r[n]``).  The fused shared-scan
+    kernel passes a resolver that routes columns to either the parent-delta
+    row or a probed dimension row (``_dn[m]``).
+    """
+
+    def __init__(
+        self, column_atom: Callable[[str, Schema], str] | None = None
+    ) -> None:
         self.lines: list[str] = []
         self.env: dict[str, Any] = {}
         self._counter = 0
+        self._column_atom = column_atom
 
     def fresh(self, prefix: str = "_t") -> str:
         self._counter += 1
@@ -124,6 +134,8 @@ class _Emitter:
 
     def emit(self, expr: Expression, schema: Schema, indent: int) -> str:
         if type(expr) is Column:
+            if self._column_atom is not None:
+                return self._column_atom(expr.name, schema)
             return f"_r[{schema.position(expr.name)}]"
         if type(expr) is Literal:
             value = expr.value

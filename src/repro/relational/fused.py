@@ -1,0 +1,306 @@
+"""Shared-scan fused aggregation: k sibling group-bys in one pass.
+
+Theorem 5.1 computes every child summary-delta of a D-lattice node from the
+parent's summary-delta.  Executed naively that costs, *per child*, one
+``hash_join`` pass per dimension join (materialising an intermediate table)
+plus one full ``group_by`` scan — k children scan the same parent delta k
+times.  Multi-query optimisation for view maintenance (Mistry et al.) and
+DBToaster-style delta pipelines both observe that sibling deltas should
+share their input scan.
+
+This module compiles all k sibling edge queries into *one* generated fold
+function that makes a single pass over the parent-delta rows: for each row
+it probes the dimension tables each child needs (a dict ``get`` per join,
+replicating inner-join semantics against a unique dimension key), extracts
+each child's group key, and applies each child's inlined reducer steps into
+that child's accumulator dict.  One scan, k accumulator sets, zero
+intermediate tables.
+
+Correctness contract: for every child the resulting group dict is
+*identical* — content and insertion order — to the legacy per-child
+``EdgeQuery.apply_delta`` pipeline, because (a) ``hash_join`` against a
+unique right-side index preserves left-row order and drops exactly the rows
+whose foreign key is null or unmatched, and (b) the reducer steps are the
+same inlined templates as :mod:`repro.relational.codegen`.  The
+differential suite (`tests/differential/`) asserts byte-identical output
+tables against the legacy path, the interpreter, and sqlite.
+
+Fallback contract: :func:`prepare_fused_scan` returns ``None`` whenever any
+child uses an expression or reducer outside the codegen subset, any joined
+dimension table lacks a unique index on its key, or codegen / the
+``REPRO_SHARED_SCAN`` kill-switch is off.  Callers keep the per-child path
+as the fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .aggregation import AggregateSpec, _finalize
+from .codegen import (
+    _Emitter,
+    _INITIAL_STATE,
+    _Unsupported,
+    _emit_reducer_step,
+    _reducer_kind,
+    codegen_enabled,
+)
+from .schema import Schema
+from .table import Table
+
+__all__ = [
+    "FusedChild",
+    "FusedJoin",
+    "FusedScan",
+    "prepare_fused_scan",
+    "shared_scan_enabled",
+]
+
+
+def shared_scan_enabled() -> bool:
+    """Whether shared-scan propagation is enabled (``REPRO_SHARED_SCAN`` != 0)."""
+    return os.environ.get("REPRO_SHARED_SCAN", "1") != "0"
+
+
+@dataclass(frozen=True)
+class FusedJoin:
+    """One dimension join a fused child needs: probe ``table`` (on its
+    unique ``key``) with the parent-row value of ``fk_column``."""
+
+    fk_column: str
+    table: Table
+    key: str
+
+
+@dataclass(frozen=True)
+class FusedChild:
+    """One sibling group-by to fuse into the shared scan."""
+
+    name: str
+    output_name: str
+    keys: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+    joins: tuple[FusedJoin, ...]
+
+
+@dataclass(frozen=True)
+class FusedScan:
+    """A compiled shared scan over one parent delta for k sibling children.
+
+    ``fold(rows)`` runs the single-pass kernel and returns
+    ``(group_dicts, probe_counts)`` — one accumulator dict and one exact
+    dimension-probe count per child, in child order.  ``finalize(i,
+    groups)`` builds child *i*'s output table from its folded states, using
+    the same finaliser as the interpreted group-by.  ``source`` is the
+    generated Python, kept for tests and debugging.
+    """
+
+    source: str
+    children: tuple[FusedChild, ...]
+    _fold: Callable
+    #: Per global probe slot: (dimension table, key column).
+    _dims: tuple[tuple[Table, str], ...]
+
+    def fold(self, rows: Sequence[tuple]) -> tuple[list[dict], list[int]]:
+        built: dict[tuple[int, str], dict[Any, tuple]] = {}
+        dims: list[dict[Any, tuple]] = []
+        for table, key in self._dims:
+            handle = (id(table), key)
+            probe = built.get(handle)
+            if probe is None:
+                position = table.schema.position(key)
+                probe = {row[position]: row for row in table.rows()}
+                built[handle] = probe
+            dims.append(probe)
+        *groups, probes = self._fold(rows, dims)
+        return list(groups), list(probes)
+
+    def finalize(self, index: int, groups: dict, name: str | None = None) -> Table:
+        child = self.children[index]
+        return _finalize(
+            groups,
+            child.name,
+            list(child.keys),
+            list(child.aggregates),
+            name or child.output_name,
+            "fused",
+        )
+
+
+#: Cache of compiled shared-scan kernels, keyed by the full shape of the
+#: scan (parent schema, per-child keys/joins/aggregate expressions).  Misses
+#: are cached as None so the fallback decision is also O(1).
+_fused_cache: dict[tuple, tuple[str, Callable] | None] = {}
+
+
+def _child_atoms(
+    parent_schema: Schema,
+    child: FusedChild,
+    slots: Sequence[int],
+) -> dict[str, str]:
+    """Map every column visible to *child* to a pure source atom.
+
+    Replays the legacy join pipeline's schema construction —
+    ``left.concat(dim, prefix_conflicts=dim.name)`` per join — so name
+    resolution (including conflict renames) matches ``hash_join`` exactly,
+    then routes parent columns to ``_r[n]`` and dimension columns to the
+    probed row ``_d{slot}[m]``.
+    """
+    atoms = {
+        name: f"_r[{position}]"
+        for position, name in enumerate(parent_schema.columns)
+    }
+    joined = parent_schema
+    for slot, join in zip(slots, child.joins):
+        widened = joined.concat(join.table.schema, prefix_conflicts=join.table.name)
+        for offset, name in enumerate(widened.columns[len(joined):]):
+            atoms[name] = f"_d{slot}[{offset}]"
+        joined = widened
+    return atoms
+
+
+def _compile_fused(
+    parent_schema: Schema, children: Sequence[FusedChild]
+) -> tuple[str, Callable] | None:
+    """Generate and compile the single-pass kernel, or ``None``."""
+    emitter = _Emitter()
+    emitter.line(0, "def _fold(_rows, _dims):")
+
+    slot = 0
+    child_slots: list[tuple[int, ...]] = []
+    for child in children:
+        slots = tuple(range(slot, slot + len(child.joins)))
+        child_slots.append(slots)
+        slot += len(child.joins)
+    for s in range(slot):
+        emitter.line(1, f"_dget{s} = _dims[{s}].get")
+    for i in range(len(children)):
+        emitter.line(1, f"_g{i} = {{}}")
+        emitter.line(1, f"_gget{i} = _g{i}.get")
+        emitter.line(1, f"_p{i} = 0")
+
+    emitter.line(1, "for _r in _rows:")
+    try:
+        for i, child in enumerate(children):
+            atoms = _child_atoms(parent_schema, child, child_slots[i])
+
+            def column_atom(name: str, _schema: Schema, _atoms=atoms) -> str:
+                try:
+                    return _atoms[name]
+                except KeyError:
+                    raise _Unsupported(f"unresolvable column {name!r}") from None
+
+            emitter._column_atom = column_atom
+            indent = 2
+            for j, s in enumerate(child_slots[i]):
+                join = child.joins[j]
+                fk_atom = atoms[join.fk_column]
+                emitter.line(indent, f"if {fk_atom} is not None:")
+                indent += 1
+                emitter.line(indent, f"_p{i} += 1")
+                emitter.line(indent, f"_d{s} = _dget{s}({fk_atom})")
+                emitter.line(indent, f"if _d{s} is not None:")
+                indent += 1
+            if child.keys:
+                key_source = (
+                    "(" + ", ".join(atoms[k] for k in child.keys) + ",)"
+                )
+            else:
+                key_source = "()"
+            emitter.line(indent, f"_k = {key_source}")
+            emitter.line(indent, f"_s = _gget{i}(_k)")
+            kinds = [_reducer_kind(r) for _n, _e, r in child.aggregates]
+            initial = "[" + ", ".join(_INITIAL_STATE[k] for k in kinds) + "]"
+            emitter.line(indent, "if _s is None:")
+            emitter.line(indent + 1, f"_s = _g{i}[_k] = {initial}")
+            for agg_slot, ((_name, expr, _reducer), kind) in enumerate(
+                zip(child.aggregates, kinds)
+            ):
+                value = emitter.emit(expr, parent_schema, indent)
+                _emit_reducer_step(emitter, kind, value, agg_slot, indent)
+    except _Unsupported:
+        return None
+    finally:
+        emitter._column_atom = None
+
+    groups = ", ".join(f"_g{i}" for i in range(len(children)))
+    probes = ", ".join(f"_p{i}" for i in range(len(children)))
+    emitter.line(
+        1, f"return ({groups}, ({probes}{',' if len(children) == 1 else ''}))"
+    )
+
+    source = "\n".join(emitter.lines) + "\n"
+    namespace: dict[str, Any] = dict(emitter.env)
+    exec(compile(source, "<repro.fused>", "exec"), namespace)  # noqa: S102
+    return source, namespace["_fold"]
+
+
+def _cache_key(
+    parent_schema: Schema, children: Sequence[FusedChild]
+) -> tuple | None:
+    try:
+        return (
+            parent_schema.columns,
+            tuple(
+                (
+                    child.keys,
+                    tuple(
+                        (j.fk_column, j.table.name, j.key, j.table.schema.columns)
+                        for j in child.joins
+                    ),
+                    tuple(
+                        (expr._key(), type(reducer))
+                        for _n, expr, reducer in child.aggregates
+                    ),
+                )
+                for child in children
+            ),
+        )
+    except TypeError:  # unhashable literal somewhere in an expression
+        return None
+
+
+def prepare_fused_scan(
+    parent_schema: Schema, children: Sequence[FusedChild]
+) -> FusedScan | None:
+    """Build the shared-scan kernel for *children* over *parent_schema*.
+
+    Returns ``None`` (callers fall back to per-child propagation) when the
+    kill-switch or codegen is off, any aggregate falls outside the codegen
+    subset, or a joined dimension table lacks a unique index on its key —
+    without that uniqueness guarantee a probe dict could silently drop
+    duplicate matches that the legacy join would emit.
+    """
+    if not children:
+        return None
+    if not shared_scan_enabled() or not codegen_enabled():
+        return None
+    for child in children:
+        for join in child.joins:
+            index = join.table.index_on([join.key])
+            if index is None or not index.unique:
+                return None
+
+    key = _cache_key(parent_schema, children)
+    if key is None:
+        compiled = _compile_fused(parent_schema, children)
+    elif key in _fused_cache:
+        compiled = _fused_cache[key]
+    else:
+        compiled = _compile_fused(parent_schema, children)
+        _fused_cache[key] = compiled
+    if compiled is None:
+        return None
+
+    source, fold = compiled
+    dims = tuple(
+        (join.table, join.key) for child in children for join in child.joins
+    )
+    return FusedScan(
+        source=source,
+        children=tuple(children),
+        _fold=fold,
+        _dims=dims,
+    )

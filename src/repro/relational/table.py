@@ -337,6 +337,34 @@ class Table:
         """The table's indexes, keyed by their column tuple."""
         return dict(self._indexes)
 
+    def verify_indexes(self) -> bool:
+        """Check every index against a from-scratch rebuild over the live
+        rows.
+
+        An exactness probe for tests and audits: incremental maintenance
+        (inserts, slot updates, deletes, undo-log rollbacks) must leave each
+        index with the same key → slot mapping a fresh build would produce.
+        Returns ``False`` on any divergence — including a unique index whose
+        table now holds duplicate keys — without charging access stats.
+        """
+        for index in self._indexes.values():
+            rebuilt = HashIndex(
+                index.columns,
+                self.schema.positions(index.columns),
+                unique=index.unique,
+            )
+            try:
+                for slot, row in enumerate(self._rows):
+                    if row is not None:
+                        rebuilt.add(row, slot)
+            except TableError:
+                return False
+            live = {key: sorted(index._buckets[key]) for key in index.keys()}  # noqa: SLF001
+            fresh = {key: sorted(rebuilt._buckets[key]) for key in rebuilt.keys()}  # noqa: SLF001
+            if live != fresh:
+                return False
+        return True
+
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------

@@ -1,0 +1,149 @@
+"""Shared-scan plan structure: lattice memoization, option resolution, and
+the cost model's fused-scan accounting (`per_child_accesses` / `scan_owner`
+/ `shared_scan_saved_accesses`).
+
+Complements tests/lattice/test_cost.py (the 2x prediction-accuracy gate)
+with the invariants the shared-scan engine introduced.
+"""
+
+import pytest
+
+from repro.core import PropagateOptions
+from repro.lattice import (
+    build_lattice_for_views,
+    collect_statistics,
+    estimate_plan_cost,
+    propagation_levels,
+)
+from repro.views import MaterializedView
+from repro.workload import (
+    RetailConfig,
+    generate_retail,
+    retail_view_definitions,
+    update_generating_changes,
+)
+
+from ..differential.harness import env
+
+
+def retail_setup(pos_rows=2_000, change_rows=250, seed=23):
+    data = generate_retail(RetailConfig(pos_rows=pos_rows, seed=seed))
+    views = [
+        MaterializedView.build(definition)
+        for definition in retail_view_definitions(data.pos)
+    ]
+    changes = update_generating_changes(
+        data.pos, data.config, change_rows, data.rng
+    )
+    return data, views, changes
+
+
+@pytest.fixture(scope="module")
+def retail():
+    return retail_setup()
+
+
+class TestMemoization:
+    def test_propagation_levels_memoized(self, retail):
+        _data, views, _changes = retail
+        lattice = build_lattice_for_views(views)
+        first = lattice.propagation_levels()
+        assert lattice.propagation_levels() is first
+        # The module-level helper delegates to the same cached object.
+        assert propagation_levels(lattice) is first
+
+    def test_sibling_groups_memoized_and_cover_derived_nodes(self, retail):
+        _data, views, _changes = retail
+        lattice = build_lattice_for_views(views)
+        groups = lattice.sibling_groups()
+        assert lattice.sibling_groups() is groups
+        derived = {
+            name for name in lattice.order
+            if not lattice.node(name).is_root
+        }
+        assert {name for group in groups for name in group} == derived
+        # Every group shares one derivation parent.
+        for group in groups:
+            parents = {lattice.node(name).parent for name in group}
+            assert len(parents) == 1
+
+    def test_fresh_lattices_do_not_share_caches(self, retail):
+        _data, views, _changes = retail
+        first = build_lattice_for_views(views)
+        second = build_lattice_for_views(views)
+        assert first.propagation_levels() is not second.propagation_levels()
+        assert first.propagation_levels() == second.propagation_levels()
+
+
+class TestSharedScanActive:
+    def test_explicit_option_wins(self):
+        with env("REPRO_SHARED_SCAN", "0"):
+            assert PropagateOptions(shared_scan=True).shared_scan_active()
+        assert PropagateOptions(shared_scan=False).shared_scan_active() is False
+
+    def test_none_defers_to_environment(self):
+        with env("REPRO_SHARED_SCAN", None):
+            assert PropagateOptions().shared_scan_active() is True
+        with env("REPRO_SHARED_SCAN", "0"):
+            assert PropagateOptions().shared_scan_active() is False
+
+
+class TestSharedCostModel:
+    def test_shared_estimate_marks_owners_and_saves_accesses(self, retail):
+        _data, views, changes = retail
+        lattice = build_lattice_for_views(views)
+        stats = collect_statistics(lattice, changes)
+        estimate = estimate_plan_cost(lattice, stats, shared_scan=True)
+        assert estimate.shared_scan is True
+
+        owners = {group[0] for group in lattice.sibling_groups()}
+        for name, node in estimate.nodes.items():
+            if node.is_root:
+                assert not node.shared_scan
+                assert node.per_child_accesses == node.propagate_accesses
+            else:
+                assert node.shared_scan
+                assert node.scan_owner == (name in owners)
+                # Fusing never costs more than the per-child replay it
+                # replaces; non-owners skip the input scan entirely.
+                assert node.propagate_accesses <= node.per_child_accesses
+                if not node.scan_owner:
+                    assert node.propagate_accesses < node.per_child_accesses
+
+        saved = estimate.shared_scan_saved_accesses
+        assert saved > 0
+        assert saved == pytest.approx(
+            estimate.per_child_accesses - estimate.with_lattice_accesses
+        )
+
+    def test_legacy_estimate_predicts_no_savings(self, retail):
+        _data, views, changes = retail
+        lattice = build_lattice_for_views(views)
+        stats = collect_statistics(lattice, changes)
+        estimate = estimate_plan_cost(lattice, stats, shared_scan=False)
+        assert estimate.shared_scan is False
+        assert estimate.shared_scan_saved_accesses == 0
+        for node in estimate.nodes.values():
+            assert not node.scan_owner
+            assert node.per_child_accesses == node.propagate_accesses
+
+    def test_default_follows_environment(self, retail):
+        _data, views, changes = retail
+        lattice = build_lattice_for_views(views)
+        stats = collect_statistics(lattice, changes)
+        with env("REPRO_SHARED_SCAN", "0"):
+            assert estimate_plan_cost(lattice, stats).shared_scan is False
+        with env("REPRO_SHARED_SCAN", None):
+            assert estimate_plan_cost(lattice, stats).shared_scan is True
+
+    def test_strategy_changes_only_propagate_side(self, retail):
+        """Refresh predictions and the §2.2 direct-cost comparison are
+        strategy-independent; only propagate accesses move."""
+        _data, views, changes = retail
+        lattice = build_lattice_for_views(views)
+        stats = collect_statistics(lattice, changes)
+        shared = estimate_plan_cost(lattice, stats, shared_scan=True)
+        legacy = estimate_plan_cost(lattice, stats, shared_scan=False)
+        assert shared.refresh_accesses == legacy.refresh_accesses
+        assert shared.without_lattice_accesses == legacy.without_lattice_accesses
+        assert shared.with_lattice_accesses < legacy.with_lattice_accesses

@@ -1,0 +1,139 @@
+"""Unit tests for the shared-scan fused kernel (`repro.relational.fused`).
+
+The differential suite proves end-to-end equivalence on random change sets;
+these tests pin the component contracts: fallback conditions, byte-identical
+per-child outputs, probe accounting, and kernel caching.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import MinMaxPolicy, PropagateOptions
+from repro.lattice import build_lattice_for_views, propagate_lattice
+from repro.relational import col
+from repro.relational.aggregation import SumReducer
+from repro.relational.fused import prepare_fused_scan, shared_scan_enabled
+from repro.relational.table import Table
+from repro.views import MaterializedView
+from repro.warehouse import ChangeSet
+
+from ..conftest import minmax_definition, sic_definition, sid_definition
+from ..differential.harness import env
+
+INSERTS = [(1, 10, 1, 7, 1.0), (4, 13, 9, 2, 1.3), (2, 11, 4, None, 2.0)]
+DELETES = [(2, 12, 3, 5, 1.6)]
+
+
+@pytest.fixture(autouse=True)
+def default_switches(monkeypatch):
+    """These tests exercise the kernel itself: pin the default (enabled)
+    environment so CI's kill-switch matrix runs don't mask it."""
+    monkeypatch.delenv("REPRO_SHARED_SCAN", raising=False)
+    monkeypatch.delenv("REPRO_CODEGEN", raising=False)
+
+
+@pytest.fixture
+def fused_inputs(pos):
+    """(lattice, parent delta, sibling edges) over the SID → {SiC, minmax}
+    derivation: two siblings with different dimension joins."""
+    views = [
+        MaterializedView.build(sid_definition(pos)),
+        MaterializedView.build(sic_definition(pos)),
+        MaterializedView.build(minmax_definition(pos)),
+    ]
+    changes = ChangeSet("pos", pos.table.schema)
+    changes.insert_many(INSERTS)
+    changes.delete_many(DELETES)
+    lattice = build_lattice_for_views(views)
+    deltas = propagate_lattice(
+        lattice, changes, PropagateOptions(shared_scan=False)
+    )
+    edges = [
+        lattice.node(name).edge
+        for name in lattice.order
+        if lattice.node(name).edge is not None
+        and lattice.node(name).edge.parent.name == "SID_sales"
+    ]
+    assert len(edges) == 2, "fixture expects two siblings under SID_sales"
+    return deltas["SID_sales"], edges
+
+
+class TestFallbacks:
+    def test_kill_switch(self):
+        with env("REPRO_SHARED_SCAN", None):
+            assert shared_scan_enabled() is True
+        with env("REPRO_SHARED_SCAN", "0"):
+            assert shared_scan_enabled() is False
+
+    def test_no_children(self, pos):
+        assert prepare_fused_scan(pos.table.schema, ()) is None
+
+    def test_disabled_scans_return_none(self, fused_inputs):
+        parent_delta, edges = fused_inputs
+        children = [e.fused_child(MinMaxPolicy.PAPER) for e in edges]
+        schema = parent_delta.table.schema
+        with env("REPRO_SHARED_SCAN", "0"):
+            assert prepare_fused_scan(schema, children) is None
+        with env("REPRO_CODEGEN", "0"):
+            assert prepare_fused_scan(schema, children) is None
+        assert prepare_fused_scan(schema, children) is not None
+
+    def test_join_without_unique_index_falls_back(self, fused_inputs):
+        parent_delta, edges = fused_inputs
+        child = edges[0].fused_child(MinMaxPolicy.PAPER)
+        join = child.joins[0]
+        bare = Table(join.table.name, join.table.schema, join.table.rows())
+        stripped = dataclasses.replace(
+            child, joins=(dataclasses.replace(join, table=bare),)
+        )
+        assert prepare_fused_scan(parent_delta.table.schema, [stripped]) is None
+
+    def test_unsupported_expression_falls_back(self, fused_inputs):
+        parent_delta, edges = fused_inputs
+        child = edges[0].fused_child(MinMaxPolicy.PAPER)
+        broken = dataclasses.replace(
+            child, aggregates=(("bad", col("no_such_column"), SumReducer()),)
+        )
+        assert prepare_fused_scan(parent_delta.table.schema, [broken]) is None
+
+
+class TestKernel:
+    @pytest.mark.parametrize("policy", list(MinMaxPolicy))
+    def test_byte_identical_to_per_child_pipelines(self, fused_inputs, policy):
+        parent_delta, edges = fused_inputs
+        children = [edge.fused_child(policy) for edge in edges]
+        scan = prepare_fused_scan(parent_delta.table.schema, children)
+        assert scan is not None
+        rows = parent_delta.table.rows()
+        groups, probes = scan.fold(rows)
+        for index, edge in enumerate(edges):
+            fused = scan.finalize(index, groups[index])
+            legacy = edge.apply_delta(parent_delta.table, policy)
+            assert fused.rows() == legacy.rows()
+            assert fused.name == legacy.name
+            assert fused.schema == legacy.schema
+
+    def test_probe_counts_are_exact(self, fused_inputs):
+        parent_delta, edges = fused_inputs
+        children = [edge.fused_child(MinMaxPolicy.PAPER) for edge in edges]
+        scan = prepare_fused_scan(parent_delta.table.schema, children)
+        rows = parent_delta.table.rows()
+        _groups, probes = scan.fold(rows)
+        # Both siblings join on a group-by foreign key that is never null
+        # and always matches its dimension: exactly one probe per row each.
+        assert probes == [len(rows), len(rows)]
+
+    def test_kernel_is_cached(self, fused_inputs):
+        parent_delta, edges = fused_inputs
+        children = [edge.fused_child(MinMaxPolicy.PAPER) for edge in edges]
+        first = prepare_fused_scan(parent_delta.table.schema, children)
+        second = prepare_fused_scan(parent_delta.table.schema, children)
+        assert first is not second  # fresh wrapper …
+        assert first._fold is second._fold  # … same compiled kernel
+
+    def test_source_is_one_loop(self, fused_inputs):
+        parent_delta, edges = fused_inputs
+        children = [edge.fused_child(MinMaxPolicy.PAPER) for edge in edges]
+        scan = prepare_fused_scan(parent_delta.table.schema, children)
+        assert scan.source.count("for _r in _rows:") == 1
