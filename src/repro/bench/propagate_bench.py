@@ -39,6 +39,7 @@ from ..lattice.plan import (
     effective_level_workers,
     propagate_lattice,
     propagation_levels,
+    refresh_lattice,
 )
 from ..obs import tracing
 from ..relational.stats import measuring
@@ -280,6 +281,101 @@ def run_shared_scan(
     }
 
 
+def run_columnar(
+    pos_rows: int = 50_000, change_size: int = 5_000, repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Time lattice propagate with row-store vs columnar table storage.
+
+    The whole workload (fact, dimensions, views, change set) is rebuilt
+    under each ``REPRO_COLUMNAR`` setting, because a table's storage is
+    fixed at construction.  Both modes must produce equivalent deltas and
+    identical access-unit totals for propagate (the batch operators charge
+    exactly what the row paths charge); the speedup comes from batch table
+    construction and column-wise operators replacing per-row tuple
+    materialisation.  Refresh access units are measured too — the batched
+    Figure 7 apply path must stay no worse than the indexed row path.
+    """
+
+    def with_mode(flag: str | None):
+        prior = os.environ.get("REPRO_COLUMNAR")
+        if flag is None:
+            os.environ.pop("REPRO_COLUMNAR", None)
+        else:
+            os.environ["REPRO_COLUMNAR"] = flag
+
+        def restore() -> None:
+            if prior is None:
+                os.environ.pop("REPRO_COLUMNAR", None)
+            else:
+                os.environ["REPRO_COLUMNAR"] = prior
+
+        return restore
+
+    modes: dict[str, dict] = {}
+    delta_snapshots: dict[str, dict[str, list]] = {}
+    for mode, flag in (("row", "0"), ("columnar", "1")):
+        restore = with_mode(flag)
+        try:
+            data = generate_retail(RetailConfig(pos_rows=pos_rows, seed=1997))
+            views = [
+                MaterializedView.build(definition)
+                for definition in retail_view_definitions(data.pos)
+            ]
+            changes = update_generating_changes(
+                data.pos, data.config, change_size, data.rng
+            )
+            lattice = build_lattice_for_views(views)
+            options = PropagateOptions()
+
+            deltas = propagate_lattice(lattice, changes, options)
+            delta_snapshots[mode] = {
+                name: delta.table.sorted_rows()
+                for name, delta in deltas.items()
+            }
+            with measuring() as measured:
+                propagate_lattice(lattice, changes, options)
+            propagate_units = _access_units(measured.snapshot().as_dict())
+            propagate_s = _best_of(
+                lambda: propagate_lattice(lattice, changes, options), repeats
+            )
+
+            # Refresh: apply base changes first (the paper's assumption),
+            # then measure the Figure 7 apply path once per mode.
+            changes.apply_to(data.pos.table)
+            with measuring() as measured:
+                refresh_lattice(
+                    {view.name: view for view in views}, deltas
+                )
+            refresh_units = _access_units(measured.snapshot().as_dict())
+        finally:
+            restore()
+        modes[mode] = {
+            "propagate_s": propagate_s,
+            "propagate_access_units": propagate_units,
+            "refresh_access_units": refresh_units,
+        }
+
+    for name, rows_of_view in delta_snapshots["row"].items():
+        if not _rows_equivalent(rows_of_view, delta_snapshots["columnar"][name]):
+            raise AssertionError(f"columnar delta differs for {name!r}")
+
+    row, columnar = modes["row"], modes["columnar"]
+    return {
+        "pos_rows": pos_rows,
+        "change_size": change_size,
+        "repeats": repeats,
+        "row_propagate_s": round(row["propagate_s"], 6),
+        "columnar_propagate_s": round(columnar["propagate_s"], 6),
+        "speedup_columnar": round(
+            row["propagate_s"] / columnar["propagate_s"], 3
+        ),
+        "row_access_units": row["propagate_access_units"],
+        "columnar_access_units": columnar["propagate_access_units"],
+        "row_refresh_access_units": row["refresh_access_units"],
+        "columnar_refresh_access_units": columnar["refresh_access_units"],
+    }
+
+
 def run_refresh_index(
     pos_scales: Sequence[int] = (4_000, 16_000), change_size: int = 400
 ) -> dict:
@@ -509,6 +605,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{shared['shared_access_units']:,} access units)"
     )
 
+    columnar = run_columnar(
+        pos_rows=max(rows // 4, 2_000),
+        change_size=max(rows // 40, 500),
+        repeats=repeats,
+    )
+    print(
+        f"columnar propagate over {columnar['pos_rows']:,} pos rows, "
+        f"{columnar['change_size']:,} changes: "
+        f"row {columnar['row_propagate_s']:.3f}s, "
+        f"columnar {columnar['columnar_propagate_s']:.3f}s "
+        f"({columnar['speedup_columnar']:.2f}x; refresh accesses "
+        f"{columnar['row_refresh_access_units']:,} -> "
+        f"{columnar['columnar_refresh_access_units']:,})"
+    )
+
     refresh_index = run_refresh_index(
         pos_scales=(2_000, 8_000) if args.quick else (4_000, 16_000),
         change_size=200 if args.quick else 400,
@@ -533,6 +644,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     path = write_bench_json("micro", micro, args.output)
     write_bench_json("lattice", lattice, args.output)
     write_bench_json("shared_scan", shared, args.output)
+    write_bench_json("columnar", columnar, args.output)
     write_bench_json("refresh_index", refresh_index, args.output)
     write_bench_json("trace_overhead", overhead, args.output)
     print(f"results merged into {path}")

@@ -350,8 +350,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     print("-" * len(header))
     for name in estimate.order:
         node = estimate.nodes[name]
-        if not node.shared_scan:
+        if node.source == "changes":
             scan = "-"
+        elif not node.shared_scan:
+            # Derived but unfused: per-child edge replay, either because
+            # shared scan is off or cost-based fusion declined the group.
+            scan = "child"
         elif node.scan_owner:
             scan = "owner"
         else:
@@ -386,6 +390,17 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     else:
         schedule = f"level-parallel, {workers} workers"
     print(f"schedule: {schedule}")
+    from .relational.table import columnar_default, columnar_killed
+
+    if columnar_killed():
+        storage = "row (REPRO_COLUMNAR=0 kill-switch)"
+    elif columnar_default():
+        storage = "columnar (REPRO_COLUMNAR set; batch kernels engaged)"
+    else:
+        storage = "row (default; REPRO_COLUMNAR=1 enables batch kernels)"
+    print(
+        f"storage: {storage} — access predictions are storage-independent"
+    )
 
     if not args.execute:
         return 0

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Any, Callable
+from typing import Any
 
 from ..relational.index import HashIndex
 from ..relational.operators import select
@@ -189,42 +189,47 @@ def plan_index_recompute(
 def recompute_groups_via_index(
     plan: IndexRecomputePlan, keys: list[GroupKey]
 ) -> dict[GroupKey, tuple]:
-    """Recompute the aggregate values of *keys* through the planned index."""
+    """Recompute the aggregate values of *keys* through the planned index.
+
+    All groups of one refresh are pooled: every candidate key is probed,
+    the matching fact slots are deduplicated, and a single gather →
+    dimension join → group-by pass recomputes every requested group
+    together, instead of one join+fold pipeline per group.  Candidate
+    keys constrain only the index columns, so a slot over-fetched for one
+    group may truly belong to another; the final group-by routes each row
+    to its actual group and the ``wanted`` filter drops groups nobody
+    asked for — results are identical to the per-group evaluation.
+    """
+    from ..relational.aggregation import group_by as physical_group_by
     from ..relational.expressions import col as column_ref
 
     definition = plan.definition
-    results: dict[GroupKey, tuple] = {}
+    fact_table = definition.fact.table
+    slots: dict[int, None] = {}
     for key in keys:
-        rows = plan.gather_rows(key)
-        if not len(rows):
-            continue
-        joined = definition.fact.join_dimensions(rows, definition.dimensions)
-        if definition.where is not None:
-            joined = select(joined, definition.where)
-        # Candidate keys constrain only the index columns; re-check full
-        # group membership so over-fetched rows never leak in.
-        group_positions = joined.schema.positions(definition.group_by)
-        evaluators: list[Callable] = []
-        reducers = []
-        for output in definition.aggregates:
-            argument = output.function.argument
-            expression = (
-                argument if argument is not None
-                else column_ref(joined.schema.columns[0])
-            )
-            evaluators.append(expression.bind(joined.schema))
-            reducers.append(output.function.base_reducer())
-        states = [reducer.create() for reducer in reducers]
-        found = False
-        for row in joined.scan():
-            if tuple(row[p] for p in group_positions) != key:
-                continue
-            found = True
-            for i, reducer in enumerate(reducers):
-                states[i] = reducer.step(states[i], evaluators[i](row))
-        if found:
-            results[key] = tuple(
-                reducer.finalize(state)
-                for reducer, state in zip(reducers, states)
-            )
-    return results
+        for candidate in plan.candidate_keys(key):
+            for slot in plan.index.lookup(candidate):
+                slots[slot] = None
+    if not slots:
+        return {}
+    rows = Table(f"recompute_{definition.name}", fact_table.schema,
+                 storage=fact_table.storage)
+    rows.append_batch(fact_table.take(list(slots)))
+    joined = definition.fact.join_dimensions(rows, definition.dimensions)
+    if definition.where is not None:
+        joined = select(joined, definition.where)
+    aggregates = [
+        (output.name,
+         output.function.argument if output.function.argument is not None
+         else column_ref(joined.schema.columns[0]),
+         output.function.base_reducer())
+        for output in definition.aggregates
+    ]
+    grouped = physical_group_by(joined, definition.group_by, aggregates)
+    arity = len(definition.group_by)
+    wanted = set(keys)
+    return {
+        row[:arity]: row[arity:]
+        for row in grouped.scan()
+        if row[:arity] in wanted
+    }

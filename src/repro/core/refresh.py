@@ -51,7 +51,7 @@ from ..errors import InconsistentDeltaError, MaintenanceError
 from ..obs import metrics as obs_metrics
 from ..obs import tracing
 from ..relational.stats import collector
-from ..relational.table import Row
+from ..relational.table import Row, charge_access
 from ..relational.types import null_max, null_min
 from ..views.definition import SummaryViewDefinition
 from ..views.materialize import MaterializedView
@@ -131,9 +131,7 @@ class GroupLocator:
         arity = self._arity
         examined = 0
         found = None
-        for slot, row in enumerate(self._table._rows):  # noqa: SLF001
-            if row is None:
-                continue
+        for slot, row in self._table.slots():
             if not arity:
                 found = slot
                 break
@@ -501,20 +499,26 @@ def _refresh_impl(
                 stats.updated += 1
             actions.recomputes.extend(local.recomputes)
     else:
-        for delta_row in delta.table.scan():
-            key = delta_row[:g]
-            slot = locator.slot_of(key)
-            old_row = view.table.row_at(slot) if slot is not None else None
+        # OUTER_JOIN, batch form: resolve every group probe up front, make
+        # all decisions against the pre-apply table state, then apply the
+        # actions grouped by kind through the table's bulk mutators.  The
+        # bulk mutators still run per-row index/observer maintenance
+        # (certificates must see every mutation) but charge access stats
+        # once per batch — totals identical to the cursor path.
+        delta_rows = delta.table.rows()
+        charge_access("rows_scanned", len(delta_rows))
+        keys = [delta_row[:g] for delta_row in delta_rows]
+        slots = list(map(locator.slot_of, keys))
+        row_at = view.table.row_at
+        for delta_row, key, slot in zip(delta_rows, keys, slots):
+            old_row = row_at(slot) if slot is not None else None
             decide(plan, name, old_row, delta_row, key, slot, actions)
-        for row in actions.inserts:
-            view.table.insert(row)
-            stats.inserted += 1
-        for doomed in actions.deletes:
-            view.table.delete_slot(doomed)
-            stats.deleted += 1
-        for update_slot, new_row in actions.updates:
-            view.table.update_slot(update_slot, new_row)
-            stats.updated += 1
+        if actions.inserts:
+            stats.inserted += view.table.insert_many(actions.inserts)
+        if actions.deletes:
+            stats.deleted += view.table.delete_slots(actions.deletes)
+        if actions.updates:
+            stats.updated += view.table.update_slots(actions.updates)
 
     if actions.recomputes:
         if recompute is None:

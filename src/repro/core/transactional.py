@@ -24,6 +24,7 @@ from typing import Any, Callable
 from ..errors import InconsistentDeltaError, MaintenanceError
 from ..obs import metrics as obs_metrics
 from ..obs import tracing
+from ..relational.table import charge_access
 from ..views.materialize import MaterializedView
 from .deltas import SummaryDelta
 from .refresh import (
@@ -116,12 +117,17 @@ def _refresh_atomically_impl(
     arity = plan.group_arity
     name = view.definition.name
 
-    # Phase 1: read-only decisions.
+    # Phase 1: read-only decisions, with every group probe resolved in one
+    # batch pass up front (same access totals as the per-tuple loop: one
+    # scan of the delta, one locator probe per delta row).
     actions = RefreshActions()
-    for delta_row in delta.table.scan():
-        key = delta_row[:arity]
-        slot = locator.slot_of(key)
-        old_row = view.table.row_at(slot) if slot is not None else None
+    delta_rows = delta.table.rows()
+    charge_access("rows_scanned", len(delta_rows))
+    keys = [delta_row[:arity] for delta_row in delta_rows]
+    slots = list(map(locator.slot_of, keys))
+    row_at = view.table.row_at
+    for delta_row, key, slot in zip(delta_rows, keys, slots):
+        old_row = row_at(slot) if slot is not None else None
         decide(plan, name, old_row, delta_row, key, slot, actions)
 
     # Phase 2: resolve recomputations before touching the view.

@@ -72,6 +72,7 @@ __all__ = [
     "compare_plan",
     "estimate_plan_cost",
     "expected_groups",
+    "group_fusion_choice",
     "span_access_units",
 ]
 
@@ -185,6 +186,8 @@ class NodeCostEstimate:
     per_child_accesses: float = 0.0
     #: Whether ``propagate_accesses`` models the fused shared-scan engine
     #: (and, for derived nodes, whether this node owns its group's scan).
+    #: False under shared-scan propagation when :func:`group_fusion_choice`
+    #: picked per-child replay for this node's sibling group.
     shared_scan: bool = False
     scan_owner: bool = False
 
@@ -235,6 +238,24 @@ class PlanCostEstimate:
         """Predicted accesses the fused shared scan saves over per-child
         propagation (0 when the estimate does not model shared scan)."""
         return self.per_child_accesses - self.with_lattice_accesses
+
+
+def group_fusion_choice(join_counts: Sequence[int]) -> bool:
+    """Per-sibling-group strategy choice: fuse, or replay per child?
+
+    Per parent-delta row the fused pass costs ``1 + ΣJ_i`` accesses (one
+    shared scan plus one dimension probe per join) while per-child replay
+    costs ``k + 3·ΣJ_i`` (each child re-scans the delta and each join
+    re-reads, probes, and re-writes every row).  The fused pass therefore
+    wins whenever the group has two or more children or any dimension
+    join; for a singleton child with no joins both strategies degenerate
+    to the same single aggregation scan, and the per-child path wins by
+    skipping kernel compilation.  The propagation engine
+    (:func:`~repro.lattice.plan.propagate_lattice`) and
+    :func:`estimate_plan_cost` make this choice identically, so predicted
+    strategy always matches the executed one.
+    """
+    return len(join_counts) >= 2 or sum(join_counts) > 0
 
 
 def _direct_cost(
@@ -307,6 +328,13 @@ def estimate_plan_cost(
         name: depth for depth, level in enumerate(levels) for name in level
     }
     scan_owners = {group[0] for group in lattice.sibling_groups()}
+    group_fused: dict[str, bool] = {}
+    for group in lattice.sibling_groups():
+        fused = group_fusion_choice(
+            [len(lattice.node(member).edge.dimension_joins) for member in group]
+        )
+        for member in group:
+            group_fused[member] = fused
     nodes: dict[str, NodeCostEstimate] = {}
     for name in lattice.order:
         node = lattice.node(name)
@@ -315,6 +343,7 @@ def estimate_plan_cost(
             node.definition, stats, groups
         )
         owner = False
+        fused = False
         if node.is_root:
             delta_rows, propagate_accesses = direct_delta, direct_accesses
             per_child_accesses = propagate_accesses
@@ -325,7 +354,8 @@ def estimate_plan_cost(
             delta_rows, per_child_accesses = _derived_cost(
                 node.edge, parent_delta, groups
             )
-            if shared_scan:
+            fused = shared_scan and group_fused.get(name, False)
+            if fused:
                 owner = name in scan_owners
                 propagate_accesses = _shared_cost(
                     node.edge, parent_delta, delta_rows, owner
@@ -344,7 +374,7 @@ def estimate_plan_cost(
             direct_accesses=direct_accesses,
             refresh_accesses=2.0 * delta_rows,
             per_child_accesses=per_child_accesses,
-            shared_scan=shared_scan and not node.is_root,
+            shared_scan=fused,
             scan_owner=owner,
         )
     return PlanCostEstimate(

@@ -42,7 +42,12 @@ from ..relational.stats import measuring
 from ..views.materialize import MaterializedView, compute_rows
 from ..warehouse.batch import BatchReport, BatchWindowClock
 from ..warehouse.changes import ChangeSet
-from .cost import PlanCostEstimate, collect_statistics, estimate_plan_cost
+from .cost import (
+    PlanCostEstimate,
+    collect_statistics,
+    estimate_plan_cost,
+    group_fusion_choice,
+)
 from .vlattice import ViewLattice
 
 
@@ -199,7 +204,18 @@ def propagate_lattice(
                 registry.counter("propagate.shared_scan.scans_saved").inc(
                     len(names) - 1
                 )
-            rows = parent_delta.table.rows()
+            source = parent_delta.table
+            n = len(source)
+            if options.parallel:
+                # Shared-scan × parallel compose: chunk the one input scan.
+                # The compiled kernel and its probe dicts don't pickle, so
+                # a process backend degrades to threads.
+                fold_strategy = "chunked"
+            elif source.storage == "column" and scan.supports_columns:
+                fold_strategy = "columns"
+            else:
+                fold_strategy = "rows"
+            group_span.set_tag("fold", fold_strategy)
             out: dict[str, SummaryDelta] = {}
             groups: list[dict] = []
             probes: list[int] = []
@@ -211,10 +227,28 @@ def propagate_lattice(
                     if index == 0:
                         # The single input scan (and the fold it feeds) is
                         # charged to — and timed inside — the scan owner.
-                        charge("rows_scanned", len(rows), node_span)
-                        groups, probes = scan.fold(rows)
+                        charge("rows_scanned", n, node_span)
+                        if fold_strategy == "chunked":
+                            backend = (
+                                options.backend
+                                if options.backend in ("serial", "thread")
+                                else "thread"
+                            )
+                            groups, probes = scan.fold_chunked(
+                                source.rows(), options.chunks,
+                                backend=backend,
+                                max_workers=options.max_workers,
+                            )
+                        elif fold_strategy == "columns":
+                            groups, probes = scan.fold_columns(
+                                source.columns(), n
+                            )
+                        else:
+                            groups, probes = scan.fold(source.rows())
                     charge("index_lookups", probes[index], node_span)
-                    table = scan.finalize(index, groups[index])
+                    table = scan.finalize(
+                        index, groups[index], storage=source.storage
+                    )
                     node_span.add("delta_rows", len(table))
                     out[name] = SummaryDelta(
                         lattice.node(name).definition, table, options.policy
@@ -245,10 +279,19 @@ def propagate_lattice(
         unit: tuple[str, ...],
         parent_span: "tracing.Span | None" = None,
     ) -> dict[str, SummaryDelta]:
-        if len(unit) == 1 and (
-            not shared_scan or lattice.node(unit[0]).is_root
-        ):
-            return {unit[0]: compute(unit[0], parent_span=parent_span)}
+        if len(unit) == 1:
+            node = lattice.node(unit[0])
+            if (
+                not shared_scan
+                or node.is_root
+                # Cost-based fusion (mirrored by estimate_plan_cost): a
+                # lone child with no dimension joins gains nothing from
+                # the fused kernel, so replay the edge directly.
+                or not group_fusion_choice(
+                    [len(node.edge.dimension_joins)]
+                )
+            ):
+                return {unit[0]: compute(unit[0], parent_span=parent_span)}
         return compute_group(unit, parent_span=parent_span)
 
     with tracing.span(

@@ -187,6 +187,31 @@ def _compiled_fold(schema: Schema, keys: Sequence[str],
     return _compile_cache[cache_key]
 
 
+def _compiled_batch_fold(schema: Schema, keys: Sequence[str],
+                         aggregates: Sequence[AggregateSpec]):
+    """The cached batch (columnar) fold for this call shape, or ``None``."""
+    from .codegen import codegen_enabled, compile_batch_aggregation
+
+    if not codegen_enabled():
+        return None
+    try:
+        cache_key = (
+            "batch",
+            schema.columns,
+            tuple(keys),
+            tuple((expr._key(), type(reducer)) for _n, expr, reducer in aggregates),
+        )
+    except TypeError:  # unhashable literal somewhere in an expression
+        compiled = compile_batch_aggregation(schema, keys, aggregates)
+        return compiled.fold_columns if compiled is not None else None
+    if cache_key not in _compile_cache:
+        compiled = compile_batch_aggregation(schema, keys, aggregates)
+        _compile_cache[cache_key] = (
+            compiled.fold_columns if compiled is not None else None
+        )
+    return _compile_cache[cache_key]
+
+
 def _fold_rows(
     schema: Schema,
     keys: Sequence[str],
@@ -235,12 +260,30 @@ def _finalize(
     aggregates: Sequence[AggregateSpec],
     name: str | None,
     default_prefix: str,
+    storage: str | None = None,
 ) -> Table:
-    """Build the output table from folded group states."""
+    """Build the output table from folded group states.
+
+    *storage* selects the output backing (aggregation outputs inherit their
+    input's, so columnar pipelines stay columnar end to end).  When the
+    output is columnar and every reducer's ``finalize`` is the identity
+    (true for all five built-ins), the states are transposed straight into
+    column batches — no per-group output tuple is ever built.
+    """
     reducers: list[Reducer] = [reducer for _n, _e, reducer in aggregates]
     n_aggs = len(aggregates)
     out_schema = Schema(list(keys) + [output for output, _e, _r in aggregates])
-    result = Table(name or f"{default_prefix}({table_name})", out_schema)
+    result = Table(name or f"{default_prefix}({table_name})", out_schema,
+                   storage=storage)
+    if (
+        groups
+        and result.storage == "column"
+        and all(type(r).finalize is Reducer.finalize for r in reducers)
+    ):
+        key_columns = list(zip(*groups.keys())) if keys else []
+        state_columns = list(zip(*groups.values())) if n_aggs else []
+        result.append_batch([*key_columns, *state_columns])
+        return result
     result.insert_many(
         key + tuple(reducers[i].finalize(states[i]) for i in range(n_aggs))
         for key, states in groups.items()
@@ -265,6 +308,17 @@ def _scanned_rows(table: Table) -> list[tuple]:
     return rows
 
 
+def _charge_scan(count: int) -> None:
+    """Charge a bulk scan of *count* rows to the collector and span (the
+    column-batch twin of :func:`_scanned_rows`'s accounting)."""
+    stats = collector()
+    if stats is not None:
+        stats.add("rows_scanned", count)
+    span = tracing.current_span()
+    if span is not None:
+        span.add("rows_scanned", count)
+
+
 def group_by(
     table: Table,
     keys: Sequence[str],
@@ -282,14 +336,30 @@ def group_by(
     The fold loop is compiled to flat code when every expression and
     reducer is in the codegen subset (see :mod:`repro.relational.codegen`);
     pass ``compiled=False`` to force the interpreted loop, ``compiled=True``
-    to insist on compilation (raises ``ValueError`` if unavailable).
+    to insist on compilation (raises ``ValueError`` if unavailable).  A
+    columnar input additionally takes the batch kernel
+    (:func:`~repro.relational.codegen.compile_batch_aggregation`): key
+    columns are extracted once, the batch is hashed once, and one linear
+    gather-and-reduce pass per group produces identical states without ever
+    materialising row tuples.
     """
     with tracing.span("group_by", table=table.name) as sp:
+        if table.storage == "column" and compiled is not False:
+            fold_columns = _compiled_batch_fold(table.schema, keys, aggregates)
+            if fold_columns is not None:
+                n = len(table)
+                _charge_scan(n)
+                groups = fold_columns(table.columns(), n)
+                sp.add("rows_in", n)
+                sp.add("groups_out", len(groups))
+                return _finalize(groups, table.name, keys, aggregates, name,
+                                 "groupby", storage=table.storage)
         rows = _scanned_rows(table)
         groups = _fold_rows(table.schema, keys, aggregates, rows, compiled)
         sp.add("rows_in", len(rows))
         sp.add("groups_out", len(groups))
-        return _finalize(groups, table.name, keys, aggregates, name, "groupby")
+        return _finalize(groups, table.name, keys, aggregates, name, "groupby",
+                         storage=table.storage)
 
 
 def _chunk_bounds(n_rows: int, chunks: int) -> list[tuple[int, int]]:
@@ -447,5 +517,6 @@ def group_by_chunked(
 
         sp.add("groups_out", len(merged))
         return _finalize(
-            merged, table.name, keys, aggregates, name, "groupby_chunked"
+            merged, table.name, keys, aggregates, name, "groupby_chunked",
+            storage=table.storage,
         )

@@ -34,15 +34,21 @@ as the fallback.
 
 from __future__ import annotations
 
+import functools
+import operator
 import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from .aggregation import AggregateSpec, _finalize
+from .aggregation import AggregateSpec, Reducer, _chunk_bounds, _finalize
 from .codegen import (
+    _BatchExpr,
     _Emitter,
     _INITIAL_STATE,
     _Unsupported,
+    _batch_agg_plan,
+    _emit_group_fold,
     _emit_reducer_step,
     _reducer_kind,
     codegen_enabled,
@@ -91,10 +97,17 @@ class FusedScan:
 
     ``fold(rows)`` runs the single-pass kernel and returns
     ``(group_dicts, probe_counts)`` — one accumulator dict and one exact
-    dimension-probe count per child, in child order.  ``finalize(i,
-    groups)`` builds child *i*'s output table from its folded states, using
-    the same finaliser as the interpreted group-by.  ``source`` is the
-    generated Python, kept for tests and debugging.
+    dimension-probe count per child, in child order.  ``fold_columns``
+    is the batch twin for columnar parent deltas: it consumes the delta's
+    columns directly (whole-column probe resolution, one boundary pass per
+    child) and produces the same dicts and counts; ``supports_columns``
+    reports whether the batch kernel compiled.  ``fold_chunked`` composes
+    the shared scan with §4.1.2's parallel decomposition: each input slice
+    is folded independently and per-child partials merge in chunk order.
+    ``finalize(i, groups)`` builds child *i*'s output table from its folded
+    states, using the same finaliser as the interpreted group-by.
+    ``source`` / ``batch_source`` are the generated Python, kept for tests
+    and debugging.
     """
 
     source: str
@@ -102,8 +115,21 @@ class FusedScan:
     _fold: Callable
     #: Per global probe slot: (dimension table, key column).
     _dims: tuple[tuple[Table, str], ...]
+    batch_source: str | None = None
+    _fold_cols: Callable | None = None
 
-    def fold(self, rows: Sequence[tuple]) -> tuple[list[dict], list[int]]:
+    @property
+    def supports_columns(self) -> bool:
+        """Whether the batch (columnar) kernel compiled for this scan."""
+        return self._fold_cols is not None
+
+    def _dim_probes(self) -> list[dict[Any, tuple]]:
+        """Build one key → row probe dict per global join slot.
+
+        Rows whose key is null are excluded: the row kernel never probes a
+        null foreign key, and the batch kernel relies on ``dict.get(None)``
+        missing so a null fk marks the row unmatched.
+        """
         built: dict[tuple[int, str], dict[Any, tuple]] = {}
         dims: list[dict[Any, tuple]] = []
         for table, key in self._dims:
@@ -111,13 +137,100 @@ class FusedScan:
             probe = built.get(handle)
             if probe is None:
                 position = table.schema.position(key)
-                probe = {row[position]: row for row in table.rows()}
+                probe = {
+                    row[position]: row for row in table.rows()
+                    if row[position] is not None
+                }
                 built[handle] = probe
             dims.append(probe)
-        *groups, probes = self._fold(rows, dims)
+        return dims
+
+    def fold(self, rows: Sequence[tuple]) -> tuple[list[dict], list[int]]:
+        *groups, probes = self._fold(rows, self._dim_probes())
         return list(groups), list(probes)
 
-    def finalize(self, index: int, groups: dict, name: str | None = None) -> Table:
+    def fold_columns(
+        self, columns: Sequence[Sequence[Any]], n: int
+    ) -> tuple[list[dict], list[int]]:
+        """Batch twin of :meth:`fold` over a columnar parent delta."""
+        if self._fold_cols is None:
+            raise ValueError("this fused scan has no batch kernel")
+        *groups, probes = self._fold_cols(columns, n, self._dim_probes())
+        return list(groups), list(probes)
+
+    def fold_chunked(
+        self,
+        rows: Sequence[tuple],
+        chunks: int = 4,
+        *,
+        backend: str = "serial",
+        max_workers: int | None = None,
+    ) -> tuple[list[dict], list[int]]:
+        """Chunked shared scan: fold slices independently, merge per child.
+
+        Same contract as :func:`~repro.relational.aggregation.group_by_chunked`
+        — partials merge with each reducer's distributive ``merge`` in chunk
+        order, so content, group order, and probe counts are identical to
+        one-shot :meth:`fold` for any chunk count.  Backends: ``"serial"``
+        (in the calling thread) and ``"thread"`` (a ``ThreadPoolExecutor``);
+        the compiled kernel and probe dicts are process-local, so there is
+        no ``"process"`` variant.
+        """
+        if not isinstance(chunks, int) or isinstance(chunks, bool) or chunks < 1:
+            raise ValueError(
+                f"chunks must be a positive integer, got {chunks!r}"
+            )
+        if backend not in ("serial", "thread"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'serial' or 'thread'"
+            )
+        rows = rows if isinstance(rows, list) else list(rows)
+        bounds = _chunk_bounds(len(rows), chunks)
+        dims = self._dim_probes()
+
+        def run(bound: tuple[int, int]):
+            return self._fold(rows[bound[0]:bound[1]], dims)
+
+        if backend == "serial" or len(bounds) <= 1:
+            parts = [run(bound) for bound in bounds]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                parts = list(executor.map(run, bounds))
+
+        k = len(self.children)
+        merged: list[dict[Any, list]] = [{} for _ in range(k)]
+        probes = [0] * k
+        reducers: list[list[Reducer]] = [
+            [reducer for _n, _e, reducer in child.aggregates]
+            for child in self.children
+        ]
+        for part in parts:
+            for i in range(k):
+                probes[i] += part[k][i]
+                target = merged[i]
+                if not target:
+                    merged[i] = part[i]
+                    continue
+                child_reducers = reducers[i]
+                n_aggs = len(child_reducers)
+                for key, states in part[i].items():
+                    existing = target.get(key)
+                    if existing is None:
+                        target[key] = states
+                    else:
+                        for a in range(n_aggs):
+                            existing[a] = child_reducers[a].merge(
+                                existing[a], states[a]
+                            )
+        return merged, probes
+
+    def finalize(
+        self,
+        index: int,
+        groups: dict,
+        name: str | None = None,
+        storage: str | None = None,
+    ) -> Table:
         child = self.children[index]
         return _finalize(
             groups,
@@ -126,13 +239,16 @@ class FusedScan:
             list(child.aggregates),
             name or child.output_name,
             "fused",
+            storage=storage,
         )
 
 
 #: Cache of compiled shared-scan kernels, keyed by the full shape of the
 #: scan (parent schema, per-child keys/joins/aggregate expressions).  Misses
 #: are cached as None so the fallback decision is also O(1).
-_fused_cache: dict[tuple, tuple[str, Callable] | None] = {}
+_fused_cache: dict[
+    tuple, tuple[str, Callable, "str | None", "Callable | None"] | None
+] = {}
 
 
 def _child_atoms(
@@ -237,6 +353,157 @@ def _compile_fused(
     return source, namespace["_fold"]
 
 
+def _non_null_count(values: Sequence[Any]) -> int:
+    """Count non-null entries; typed arrays cannot hold ``None`` at all."""
+    try:
+        return len(values) - values.count(None)
+    except TypeError:
+        return len(values)
+
+
+def _child_atom_elements(
+    parent_schema: Schema,
+    child: FusedChild,
+    slots: Sequence[int],
+) -> dict[str, str]:
+    """Map every column visible to *child* to a per-row element expression.
+
+    The batch twin of :func:`_child_atoms`: parent columns become
+    ``_cols[p][_j]`` and dimension columns index the slot's whole-column
+    match list, ``_m{slot}[_j][m]``.  Name resolution (including conflict
+    renames) replays the legacy join pipeline identically.
+    """
+    atoms = {
+        name: f"_cols[{position}][_j]"
+        for position, name in enumerate(parent_schema.columns)
+    }
+    joined = parent_schema
+    for slot, join in zip(slots, child.joins):
+        widened = joined.concat(join.table.schema, prefix_conflicts=join.table.name)
+        for offset, name in enumerate(widened.columns[len(joined):]):
+            atoms[name] = f"_m{slot}[_j][{offset}]"
+        joined = widened
+    return atoms
+
+
+def _compile_fused_batch(
+    parent_schema: Schema, children: Sequence[FusedChild]
+) -> tuple[str, Callable] | None:
+    """Generate and compile the batch (columnar) shared-scan kernel.
+
+    One whole-column pass per child: the foreign-key column probes its
+    dimension dict in one ``map``, survivors form a keep-list, group keys
+    and aggregate sources gather at the keep-list, and the shared inline
+    group-fold emitter from :mod:`repro.relational.codegen` produces the
+    same ``{key: state list}`` dicts — content, group order, and state
+    layout — as the row kernel.  Probe counts are exact: one per surviving
+    non-null foreign key, matching the row kernel's nested guards.
+    """
+    writer: list[str] = ["def _fold_cols(_cols, _n, _dims):"]
+    env: dict[str, Any] = {}
+    ind = "    "
+
+    slot = 0
+    child_slots: list[tuple[int, ...]] = []
+    for child in children:
+        slots = tuple(range(slot, slot + len(child.joins)))
+        child_slots.append(slots)
+        slot += len(child.joins)
+    for s in range(slot):
+        writer.append(f"{ind}_dget{s} = _dims[{s}].get")
+
+    returns: list[str] = []
+    probe_vars: list[str] = []
+    try:
+        for i, child in enumerate(children):
+            atoms = _child_atom_elements(parent_schema, child, child_slots[i])
+
+            def atom_of(name: str, _atoms=atoms) -> str:
+                try:
+                    return _atoms[name]
+                except KeyError:
+                    raise _Unsupported(f"unresolvable column {name!r}") from None
+
+            writer.append(f"{ind}_p{i} = 0")
+            prev: int | None = None
+            for j, s in enumerate(child_slots[i]):
+                join = child.joins[j]
+                fk_elem = atoms[join.fk_column]
+                if prev is None and fk_elem.endswith("[_j]"):
+                    # First join, parent-sourced fk: the raw column is the
+                    # probe input (a typed array cannot even contain nulls).
+                    writer.append(f"{ind}_fk{s} = {fk_elem[:-4]}")
+                else:
+                    mask = f"_m{prev}[_j] is None or " if prev is not None else ""
+                    writer.append(
+                        f"{ind}_fk{s} = [None if {mask}{fk_elem} is None "
+                        f"else {fk_elem} for _j in range(_n)]"
+                    )
+                writer.append(f"{ind}_p{i} += _nnc(_fk{s})")
+                writer.append(f"{ind}_m{s} = list(map(_dget{s}, _fk{s}))")
+                prev = s
+            if child.joins:
+                domain = f"_keep{i}"
+                writer.append(
+                    f"{ind}{domain} = "
+                    f"[_j for _j in range(_n) if _m{prev}[_j] is not None]"
+                )
+                n_expr = f"len({domain})"
+            else:
+                domain = "range(_n)"
+                n_expr = "_n"
+
+            key_vars: list[str] = []
+            for t, key_name in enumerate(child.keys):
+                elem = atoms.get(key_name)
+                if elem is None:
+                    raise _Unsupported(f"unresolvable column {key_name!r}")
+                if not child.joins and elem.endswith("[_j]"):
+                    key_vars.append(elem[:-4])
+                    continue
+                var = f"_kc{i}_{t}"
+                writer.append(f"{ind}{var} = [{elem} for _j in {domain}]")
+                key_vars.append(var)
+
+            batch = _BatchExpr(atom_of, env)
+
+            def emit_source(w: list[str], e: dict[str, Any], var: str,
+                            expr: Any, _batch=batch, _domain=domain) -> None:
+                src, _null_state = _batch.emit(expr)
+                if (
+                    _domain == "range(_n)"
+                    and src.startswith("_cols[")
+                    and src.endswith("][_j]")
+                    and src.count("[") == 2
+                ):
+                    # No joins + plain column source: pass it through.
+                    w.append(f"{ind}{var} = {src[:-4]}")
+                    return
+                w.append(f"{ind}{var} = [{src} for _j in {_domain}]")
+
+            plan = _batch_agg_plan(
+                writer, env, child.aggregates, parent_schema, emit_source
+            )
+            _emit_group_fold(writer, f"_g{i}", key_vars, plan, n_expr, ind)
+            returns.append(f"_g{i}")
+            probe_vars.append(f"_p{i}")
+    except _Unsupported:
+        return None
+
+    probes = ", ".join(probe_vars)
+    writer.append(
+        f"{ind}return ({', '.join(returns)}, "
+        f"({probes}{',' if len(children) == 1 else ''}))"
+    )
+    source = "\n".join(writer) + "\n"
+    namespace: dict[str, Any] = dict(env)
+    namespace["_nnc"] = _non_null_count
+    namespace["_reduce"] = functools.reduce
+    namespace["_add"] = operator.add
+    exec(compile(source, "<repro.fused.batch>", "exec"), namespace)  # noqa: S102
+    return source, namespace["_fold_cols"]
+
+
 def _cache_key(
     parent_schema: Schema, children: Sequence[FusedChild]
 ) -> tuple | None:
@@ -285,16 +552,16 @@ def prepare_fused_scan(
 
     key = _cache_key(parent_schema, children)
     if key is None:
-        compiled = _compile_fused(parent_schema, children)
+        compiled = _compile_both(parent_schema, children)
     elif key in _fused_cache:
         compiled = _fused_cache[key]
     else:
-        compiled = _compile_fused(parent_schema, children)
+        compiled = _compile_both(parent_schema, children)
         _fused_cache[key] = compiled
     if compiled is None:
         return None
 
-    source, fold = compiled
+    source, fold, batch_source, fold_cols = compiled
     dims = tuple(
         (join.table, join.key) for child in children for join in child.joins
     )
@@ -303,4 +570,20 @@ def prepare_fused_scan(
         children=tuple(children),
         _fold=fold,
         _dims=dims,
+        batch_source=batch_source,
+        _fold_cols=fold_cols,
     )
+
+
+def _compile_both(
+    parent_schema: Schema, children: Sequence[FusedChild]
+) -> tuple[str, Callable, str | None, Callable | None] | None:
+    """Compile the row kernel (required) and batch kernel (best-effort)."""
+    compiled = _compile_fused(parent_schema, children)
+    if compiled is None:
+        return None
+    source, fold = compiled
+    batch = _compile_fused_batch(parent_schema, children)
+    if batch is None:
+        return source, fold, None, None
+    return source, fold, batch[0], batch[1]

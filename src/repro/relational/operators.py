@@ -9,6 +9,15 @@ The join is a classic build/probe hash equi-join.  When the build side
 already has a hash index on the join columns the index is reused, matching
 the paper's setup where joins between the fact table and dimension tables run
 along indexed foreign keys.
+
+Columnar inputs take batch fast paths: projection evaluates expressions
+column-wise through a compiled :class:`~repro.relational.codegen.ColumnKernel`,
+union concatenates column batches, and the unique-index join probes a whole
+foreign-key column at once — all landing in the output via
+``Table.append_batch`` with no per-row tuple construction.  Every fast path
+charges exactly the access counts of the row path it replaces, and falls
+back to the row path whenever its preconditions fail, so results, access
+accounting, and cost-model predictions are identical either way.
 """
 
 from __future__ import annotations
@@ -18,13 +27,61 @@ from typing import Any, Iterable, Sequence
 from ..errors import TableError
 from .expressions import Expression
 from .schema import Schema
-from .table import Row, Table
+from .table import Row, Table, charge_access
+
+#: Cache of compiled column kernels, keyed by (schema, expression shapes).
+#: Misses cached as None so the fallback decision is O(1).
+_column_kernel_cache: dict[tuple, Any] = {}
+
+
+def _column_kernel(schema: Schema, expressions: Sequence[Expression]):
+    """The cached column kernel for these expressions, or ``None``."""
+    from .codegen import codegen_enabled, compile_column_kernel
+
+    if not codegen_enabled():
+        return None
+    try:
+        cache_key = (
+            schema.columns,
+            tuple(expr._key() for expr in expressions),
+        )
+    except TypeError:  # unhashable literal somewhere in an expression
+        kernel = compile_column_kernel(expressions, schema)
+        return kernel.eval_columns if kernel is not None else None
+    if cache_key not in _column_kernel_cache:
+        kernel = compile_column_kernel(expressions, schema)
+        _column_kernel_cache[cache_key] = (
+            kernel.eval_columns if kernel is not None else None
+        )
+    return _column_kernel_cache[cache_key]
+
+
+def _as_list(column: Sequence[Any]) -> list[Any]:
+    """Normalise a stored column (possibly a typed array) to a list."""
+    return column if type(column) is list else list(column)
 
 
 def select(table: Table, predicate: Expression, name: str | None = None) -> Table:
     """Return the rows of *table* satisfying *predicate*."""
+    result = Table(name or f"select({table.name})", table.schema,
+                   storage=table.storage)
+    if table.storage == "column":
+        eval_columns = _column_kernel(table.schema, [predicate])
+        if eval_columns is not None:
+            n = len(table)
+            charge_access("rows_scanned", n)
+            columns = table.columns()
+            mask = eval_columns(columns, n)[0]
+            keep = [i for i, passed in enumerate(mask) if passed]
+            if keep:
+                if len(keep) == n:
+                    result.append_batch(columns)
+                else:
+                    result.append_batch(
+                        [[col[i] for i in keep] for col in columns]
+                    )
+            return result
     test = predicate.bind(table.schema)
-    result = Table(name or f"select({table.name})", table.schema)
     result.insert_many(row for row in table.scan() if test(row))
     return result
 
@@ -40,8 +97,19 @@ def project(
     ``DISTINCT``.
     """
     schema = Schema([output_name for output_name, _expr in outputs])
+    result = Table(name or f"project({table.name})", schema,
+                   storage=table.storage)
+    if table.storage == "column":
+        eval_columns = _column_kernel(
+            table.schema, [expr for _name, expr in outputs]
+        )
+        if eval_columns is not None:
+            n = len(table)
+            charge_access("rows_scanned", n)
+            if n:
+                result.append_batch(eval_columns(table.columns(), n))
+            return result
     evaluators = [expr.bind(table.schema) for _name, expr in outputs]
-    result = Table(name or f"project({table.name})", schema)
     result.insert_many(
         tuple(evaluate(row) for evaluate in evaluators) for row in table.scan()
     )
@@ -70,9 +138,13 @@ def union_all(tables: Sequence[Table], name: str | None = None) -> Table:
                 f"union_all schema mismatch: {list(schema.columns)} vs "
                 f"{list(table.schema.columns)}"
             )
-    result = Table(name or "union_all", schema)
+    result = Table(name or "union_all", schema, storage=tables[0].storage)
     for table in tables:
-        result.insert_many(table.scan())
+        if table.storage == "column" and len(table):
+            charge_access("rows_scanned", len(table))
+            result.append_batch(table.columns())
+        else:
+            result.insert_many(table.scan())
     return result
 
 
@@ -98,10 +170,56 @@ def hash_join(
     right_positions = right.schema.positions(right_cols)
 
     out_schema = left.schema.concat(right.schema, prefix_conflicts=right.name)
-    result = Table(name or f"join({left.name},{right.name})", out_schema)
+    result = Table(name or f"join({left.name},{right.name})", out_schema,
+                   storage=left.storage)
 
     # Prefer probing into an existing index on the right side.
     right_index = right.index_on(right_cols)
+    if (
+        left.storage == "column"
+        and right_index is not None
+        and right_index.unique
+    ):
+        # Batch probe: resolve the whole foreign-key column against a
+        # key → row dict built from the unique index's coverage.  Null keys
+        # never probe (and never match), exactly as in the row loop below.
+        probe: dict[Any, Row] = {}
+        single = len(right_positions) == 1
+        rp0 = right_positions[0]
+        for row in right.rows():
+            key = row[rp0] if single else tuple(row[p] for p in right_positions)
+            if single:
+                if key is not None:
+                    probe[key] = row
+            elif None not in key:
+                probe[key] = row
+        n = len(left)
+        charge_access("rows_scanned", n)
+        if single:
+            keycol = _as_list(left.columns([left_cols[0]])[0])
+            probes = n - keycol.count(None)
+            matches = list(map(probe.get, keycol))
+        else:
+            keycols = [_as_list(col) for col in left.columns(left_cols)]
+            probes = 0
+            matches = []
+            for key in zip(*keycols):
+                if None in key:
+                    matches.append(None)
+                else:
+                    probes += 1
+                    matches.append(probe.get(key))
+        charge_access("index_lookups", probes)
+        hits = [i for i, match in enumerate(matches) if match is not None]
+        if hits:
+            left_columns = left.columns()
+            if len(hits) == n:
+                out_left = left_columns
+            else:
+                out_left = [[col[i] for i in hits] for col in left_columns]
+            out_right = list(zip(*(matches[i] for i in hits)))
+            result.append_batch([*out_left, *out_right])
+        return result
     if right_index is not None:
         for left_row in left.scan():
             key = tuple(left_row[p] for p in left_positions)

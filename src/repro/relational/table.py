@@ -1,16 +1,34 @@
-"""Bag-semantics tables with incremental hash-index maintenance.
+"""Bag-semantics tables with row- and column-oriented storage backings.
 
-A :class:`Table` stores rows as plain tuples in insertion order, permits
-duplicates (the paper's ``pos`` fact table is explicitly a bag), and keeps
-any number of :class:`~repro.relational.index.HashIndex` structures in sync
-as rows are inserted, updated in place, or deleted.
+A :class:`Table` stores rows in insertion order, permits duplicates (the
+paper's ``pos`` fact table is explicitly a bag), and keeps any number of
+:class:`~repro.relational.index.HashIndex` structures in sync as rows are
+inserted, updated in place, or deleted.
 
-Deletions tombstone the row's slot rather than compacting the list, so slots
-held by indexes stay valid; freed slots are recycled by later insertions.
+Two storage backings implement the same slot contract:
+
+* :class:`RowStore` — a list of tuples, the original layout.
+* :class:`ColumnStore` — one sequence per column plus a validity bitmap,
+  with ``append_batch`` / ``take`` / ``gather`` bulk primitives.  Numeric
+  columns are opportunistically promoted to typed :mod:`array` storage.
+
+The row API (``scan``/``rows``/``row_at``/``insert`` …) is preserved as a
+view over either backing, so existing callers work unchanged; batch-aware
+callers use :meth:`Table.append_batch` and :meth:`Table.columns` to skip
+per-row tuple construction entirely.  Storage is chosen per table via the
+``storage=`` parameter, with the ``REPRO_COLUMNAR`` environment variable
+acting as a global override: ``REPRO_COLUMNAR=0`` forces row storage
+everywhere (kill-switch), ``REPRO_COLUMNAR=1`` makes columnar the default.
+
+Deletions tombstone the row's slot rather than compacting, so slots held by
+indexes stay valid; freed slots are recycled by later insertions.
 """
 
 from __future__ import annotations
 
+import os
+from array import array
+from itertools import compress, repeat
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from ..errors import TableError
@@ -20,6 +38,284 @@ from .schema import Schema
 from .stats import collector
 
 Row = tuple[Any, ...]
+
+#: How many leading values are type-probed before attempting typed-array
+#: promotion of a column batch.  The :mod:`array` conversion then verifies
+#: the rest at C speed (raising ``TypeError``/``OverflowError`` on values
+#: that do not fit, which demotes the column back to a plain list).
+_PROMOTE_PROBE = 16
+
+
+def columnar_default() -> bool:
+    """True when ``REPRO_COLUMNAR`` makes columnar the default storage."""
+    value = os.environ.get("REPRO_COLUMNAR", "")
+    return bool(value) and value != "0"
+
+
+def columnar_killed() -> bool:
+    """True when ``REPRO_COLUMNAR=0`` forces row storage everywhere."""
+    return os.environ.get("REPRO_COLUMNAR") == "0"
+
+
+def resolve_storage(requested: str | None) -> str:
+    """Resolve a table's storage mode from the request and the kill-switch.
+
+    ``REPRO_COLUMNAR=0`` wins over everything (even an explicit
+    ``storage="column"`` request), so one environment variable can disable
+    the columnar engine across an entire run.
+    """
+    if requested not in (None, "row", "column"):
+        raise TableError(f"unknown table storage {requested!r}")
+    if columnar_killed():
+        return "row"
+    if requested is not None:
+        return requested
+    return "column" if columnar_default() else "row"
+
+
+def charge_access(counter: str, count: int) -> None:
+    """Charge *count* tuple accesses to the active stats collector and span.
+
+    The bulk-accounting primitive the batch operators use: one call per
+    operation, totals identical to the per-row paths they replace.
+    """
+    if not count:
+        return
+    stats = collector()
+    if stats is not None:
+        stats.add(counter, count)
+    span = current_span()
+    if span is not None:
+        span.add(counter, count)
+
+
+def _typed_column(values: Sequence[Any]) -> Any:
+    """Store a fresh column batch, promoted to a typed array when uniform.
+
+    Only uniformly-``int`` columns become ``array('q')`` and uniformly-
+    ``float`` columns become ``array('d')``; anything else (nulls, strings,
+    mixed types, overflowing ints) stays a plain list.  The probe checks a
+    short prefix and lets the C-level conversion reject the rest.
+    """
+    # Always copy: the store must own its columns.  Callers may pass (and
+    # later mutate, or themselves have borrowed) the source sequence —
+    # e.g. a projection passing an input table's column straight through.
+    vals = list(values)
+    if vals:
+        head = vals[:_PROMOTE_PROBE]
+        if all(type(v) is int for v in head):
+            try:
+                return array("q", vals)
+            except (TypeError, OverflowError):
+                return vals
+        if all(type(v) is float for v in head):
+            try:
+                return array("d", vals)
+            except TypeError:
+                return vals
+    return vals
+
+
+class RowStore:
+    """Row-major backing: a list of tuples with ``None`` tombstones."""
+
+    __slots__ = ("_slots",)
+    kind = "row"
+
+    def __init__(self) -> None:
+        self._slots: list[Row | None] = []
+
+    def size(self) -> int:
+        """Slot capacity (live rows plus tombstones)."""
+        return len(self._slots)
+
+    def get(self, slot: int) -> Row | None:
+        return self._slots[slot]
+
+    def append(self, row: Row) -> int:
+        slots = self._slots
+        slots.append(row)
+        return len(slots) - 1
+
+    def set(self, slot: int, row: Row | None) -> None:
+        self._slots[slot] = row
+
+    def clear(self) -> None:
+        self._slots.clear()
+
+    def iter_live(self) -> Iterator[Row]:
+        for row in self._slots:
+            if row is not None:
+                yield row
+
+    def enumerate_live(self) -> Iterator[tuple[int, Row]]:
+        for slot, row in enumerate(self._slots):
+            if row is not None:
+                yield slot, row
+
+    def rows(self) -> list[Row]:
+        return [row for row in self._slots if row is not None]
+
+    def slot_list(self) -> list[Row | None]:
+        return self._slots
+
+    def column_lists(self, positions: Sequence[int]) -> list[list[Any]]:
+        rows = self.rows()
+        if not rows:
+            return [[] for _ in positions]
+        cols = list(zip(*rows))
+        return [list(cols[p]) for p in positions]
+
+    def append_batch(self, columns: Sequence[Sequence[Any]], n: int) -> None:
+        self._slots.extend(zip(*columns))
+
+
+class ColumnStore:
+    """Column-major backing: one sequence per column plus a validity bitmap.
+
+    Columns are plain lists by default; a column whose first batch is
+    uniformly ``int`` or ``float`` is promoted to a typed ``array.array``
+    (``'q'`` / ``'d'``) and transparently demoted back to a list the first
+    time a value arrives that does not fit.  The validity bitmap (one byte
+    per slot, ``1`` = live) marks tombstones; a tombstoned slot keeps its
+    stale column values, so typed arrays never need to represent nulls.
+    """
+
+    __slots__ = ("_arity", "_columns", "_valid", "_dead")
+    kind = "column"
+
+    def __init__(self, arity: int) -> None:
+        self._arity = arity
+        self._columns: list[Any] = [[] for _ in range(arity)]
+        self._valid = bytearray()
+        self._dead = 0
+
+    def size(self) -> int:
+        """Slot capacity (live rows plus tombstones)."""
+        return len(self._valid)
+
+    def get(self, slot: int) -> Row | None:
+        if not self._valid[slot]:
+            return None
+        return tuple(col[slot] for col in self._columns)
+
+    def append(self, row: Row) -> int:
+        slot = len(self._valid)
+        columns = self._columns
+        for i, value in enumerate(row):
+            col = columns[i]
+            try:
+                col.append(value)
+            except (TypeError, OverflowError):
+                col = columns[i] = list(col)
+                col.append(value)
+        self._valid.append(1)
+        return slot
+
+    def set(self, slot: int, row: Row | None) -> None:
+        valid = self._valid
+        if row is None:
+            if valid[slot]:
+                valid[slot] = 0
+                self._dead += 1
+            return
+        columns = self._columns
+        for i, value in enumerate(row):
+            col = columns[i]
+            try:
+                col[slot] = value
+            except (TypeError, OverflowError):
+                col = columns[i] = list(col)
+                col[slot] = value
+        if not valid[slot]:
+            valid[slot] = 1
+            self._dead -= 1
+
+    def clear(self) -> None:
+        self._columns = [[] for _ in range(self._arity)]
+        self._valid = bytearray()
+        self._dead = 0
+
+    def _live_rows_iter(self) -> Iterator[Row]:
+        if not self._arity:
+            return iter(repeat((), len(self._valid) - self._dead))
+        if self._dead:
+            return iter(compress(zip(*self._columns), self._valid))
+        return iter(zip(*self._columns))
+
+    def iter_live(self) -> Iterator[Row]:
+        return self._live_rows_iter()
+
+    def enumerate_live(self) -> Iterator[tuple[int, Row]]:
+        if not self._arity:
+            for slot, v in enumerate(self._valid):
+                if v:
+                    yield slot, ()
+            return
+        rows = zip(*self._columns)
+        if self._dead:
+            for slot, (v, row) in enumerate(zip(self._valid, rows)):
+                if v:
+                    yield slot, row
+        else:
+            yield from enumerate(rows)
+
+    def rows(self) -> list[Row]:
+        return list(self._live_rows_iter())
+
+    def slot_list(self) -> list[Row | None]:
+        if not self._arity:
+            out: list[Row | None] = [()] * len(self._valid)
+        else:
+            out = list(zip(*self._columns))
+        if self._dead:
+            for slot, v in enumerate(self._valid):
+                if not v:
+                    out[slot] = None
+        return out
+
+    def column_lists(self, positions: Sequence[int]) -> list[Any]:
+        cols = self._columns
+        if self._dead:
+            valid = self._valid
+            return [list(compress(cols[p], valid)) for p in positions]
+        return [cols[p] for p in positions]
+
+    def append_batch(self, columns: Sequence[Sequence[Any]], n: int) -> None:
+        fresh = not self._valid
+        cols = self._columns
+        for i, values in enumerate(columns):
+            col = cols[i]
+            if fresh and not isinstance(col, array):
+                cols[i] = _typed_column(values)
+                continue
+            try:
+                col.extend(values)
+            except (TypeError, OverflowError):
+                # array.extend appends element-wise, so a mid-batch failure
+                # leaves a partial prefix behind — drop it before demoting.
+                del col[len(self._valid):]
+                col = cols[i] = list(col)
+                col.extend(values)
+        self._valid.extend(b"\x01" * n)
+
+    # Bulk primitives -------------------------------------------------
+
+    def take(self, slots: Sequence[int]) -> list[list[Any]]:
+        """Gather the column values at *slots* (assumed live), one output
+        list per column."""
+        out = []
+        for col in self._columns:
+            getter = col.__getitem__
+            out.append([getter(s) for s in slots])
+        return out
+
+    def gather(self, positions: Sequence[int]) -> list[Any]:
+        """Live values of the chosen columns, in slot order.
+
+        Alias of :meth:`column_lists` — the name the batch kernels use.
+        """
+        return self.column_lists(positions)
 
 
 class Table:
@@ -33,12 +329,24 @@ class Table:
         The table's schema, or an iterable of column names.
     rows:
         Optional initial rows.
+    storage:
+        ``"row"`` or ``"column"`` to pick a backing explicitly; ``None``
+        follows the ``REPRO_COLUMNAR`` default (see :func:`resolve_storage`).
     """
 
-    def __init__(self, name: str, schema: Schema | Iterable[str], rows: Iterable[Sequence[Any]] = ()):
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | Iterable[str],
+        rows: Iterable[Sequence[Any]] = (),
+        storage: str | None = None,
+    ):
         self.name = name
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
-        self._rows: list[Row | None] = []
+        self.storage = resolve_storage(storage)
+        self._store: RowStore | ColumnStore = (
+            RowStore() if self.storage == "row" else ColumnStore(len(self.schema))
+        )
         self._free_slots: list[int] = []
         self._live_count = 0
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
@@ -57,6 +365,16 @@ class Table:
     def __iter__(self) -> Iterator[Row]:
         return self.scan()
 
+    @property
+    def _rows(self) -> list[Row | None]:
+        """Slot-ordered view of the storage (``None`` marks a tombstone).
+
+        Kept for introspection and tests; internal code goes through the
+        storage API.  For a columnar table this materialises tuples — treat
+        the result as read-only.
+        """
+        return self._store.slot_list()
+
     def scan(self) -> Iterator[Row]:
         """Iterate over live rows in slot order.
 
@@ -71,20 +389,63 @@ class Table:
         span = current_span()
         if span is not None:
             span.add("rows_scanned", self._live_count)
-        for row in self._rows:
-            if row is not None:
-                yield row
+        yield from self._store.iter_live()
 
     def rows(self) -> list[Row]:
         """Materialise the live rows as a list."""
-        return [row for row in self._rows if row is not None]
+        return self._store.rows()
+
+    def slots(self) -> Iterator[tuple[int, Row]]:
+        """Iterate ``(slot, row)`` pairs for live rows in slot order.
+
+        The public replacement for poking the storage internals; does not
+        charge access stats (bulk callers charge what they consume).
+        """
+        return self._store.enumerate_live()
 
     def row_at(self, slot: int) -> Row:
         """Return the live row stored at *slot*."""
-        row = self._rows[slot]
+        row = self._store.get(slot)
         if row is None:
             raise TableError(f"table {self.name!r}: slot {slot} is empty")
         return row
+
+    def columns(self, names: Sequence[str] | None = None) -> list[Any]:
+        """Live column values in slot order, one sequence per column.
+
+        The batch-scan primitive: kernels consume these directly instead of
+        materialising row tuples.  May return internal storage references —
+        treat the result as a read-only snapshot, valid until the table's
+        next mutation.  Does not charge access stats (callers charge the
+        scan themselves, mirroring :meth:`rows`).
+        """
+        if names is None:
+            positions: Sequence[int] = range(len(self.schema))
+        else:
+            positions = self.schema.positions(names)
+        return self._store.column_lists(positions)
+
+    def take(self, slots: Sequence[int]) -> list[list[Any]]:
+        """Column-wise gather of the rows stored at *slots* (one output
+        list per column).
+
+        Every slot must be live; a tombstoned slot raises.  Does not
+        charge access stats (callers charge what they consume), matching
+        :meth:`columns`.
+        """
+        store = self._store
+        if isinstance(store, ColumnStore):
+            valid = store._valid  # noqa: SLF001 — liveness check
+            for slot in slots:
+                if not valid[slot]:
+                    raise TableError(
+                        f"table {self.name!r}: slot {slot} is empty"
+                    )
+            return store.take(slots)
+        rows = [self.row_at(slot) for slot in slots]
+        if not rows:
+            return [[] for _ in range(len(self.schema))]
+        return [list(column) for column in zip(*rows)]
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, {len(self)} rows, {list(self.schema.columns)})"
@@ -104,7 +465,7 @@ class Table:
     def insert(self, row: Sequence[Any]) -> int:
         """Insert one row; return the slot it was stored at."""
         slot = self._store_row(row)
-        self._charge_inserts(1)
+        self._charge("rows_inserted", 1)
         return slot
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -118,18 +479,53 @@ class Table:
         for row in rows:
             self._store_row(row)
             count += 1
-        self._charge_inserts(count)
+        self._charge("rows_inserted", count)
         return count
+
+    def append_batch(self, columns: Sequence[Sequence[Any]]) -> int:
+        """Insert a batch given column-wise; return how many rows.
+
+        The columnar fast path: when the table has no indexes, tracked
+        domains, observers, or recyclable free slots, the batch lands as
+        C-level column extends with no per-row work at all.  Otherwise it
+        degrades to the per-row insert path (identical semantics).  Access
+        accounting is charged once per batch either way, matching
+        :meth:`insert_many`.
+        """
+        arity = len(self.schema)
+        if len(columns) != arity:
+            raise TableError(
+                f"table {self.name!r}: {len(columns)} columns do not match "
+                f"schema arity {arity}"
+            )
+        if arity == 0:
+            return 0
+        n = len(columns[0])
+        for col in columns[1:]:
+            if len(col) != n:
+                raise TableError(
+                    f"table {self.name!r}: ragged column batch "
+                    f"({len(col)} != {n})"
+                )
+        if n == 0:
+            return 0
+        if not (self._indexes or self._domains or self._observers or self._free_slots):
+            self._store.append_batch(columns, n)
+            self._live_count += n
+        else:
+            for row in zip(*columns):
+                self._store_row(row)
+        self._charge("rows_inserted", n)
+        return n
 
     def _store_row(self, row: Sequence[Any]) -> int:
         """The structural part of an insert, with no access accounting."""
         stored = self._check_arity(row)
         if self._free_slots:
             slot = self._free_slots.pop()
-            self._rows[slot] = stored
+            self._store.set(slot, stored)
         else:
-            slot = len(self._rows)
-            self._rows.append(stored)
+            slot = self._store.append(stored)
         for index in self._indexes.values():
             index.add(stored, slot)
         if self._domains:
@@ -142,22 +538,18 @@ class Table:
                 observer.row_inserted(stored)
         return slot
 
-    def _charge_inserts(self, count: int) -> None:
-        if not count:
-            return
-        stats = collector()
-        if stats is not None:
-            stats.add("rows_inserted", count)
-        span = current_span()
-        if span is not None:
-            span.add("rows_inserted", count)
+    def _charge(self, counter: str, count: int) -> None:
+        charge_access(counter, count)
 
-    def delete_slot(self, slot: int) -> Row:
-        """Delete the row at *slot*; return the removed row."""
+    def _charge_inserts(self, count: int) -> None:
+        charge_access("rows_inserted", count)
+
+    def _remove_row(self, slot: int) -> Row:
+        """The structural part of a delete, with no access accounting."""
         row = self.row_at(slot)
         for index in self._indexes.values():
             index.remove(row, slot)
-        self._rows[slot] = None
+        self._store.set(slot, None)
         self._free_slots.append(slot)
         if self._domains:
             for position, counts in self._domains.items():
@@ -171,16 +563,28 @@ class Table:
         if self._observers:
             for observer in self._observers:
                 observer.row_deleted(row)
-        stats = collector()
-        if stats is not None:
-            stats.add("rows_deleted")
-        span = current_span()
-        if span is not None:
-            span.add("rows_deleted")
         return row
 
-    def update_slot(self, slot: int, new_row: Sequence[Any]) -> None:
-        """Replace the row at *slot* in place, keeping indexes consistent."""
+    def delete_slot(self, slot: int) -> Row:
+        """Delete the row at *slot*; return the removed row."""
+        row = self._remove_row(slot)
+        self._charge("rows_deleted", 1)
+        return row
+
+    def delete_slots(self, slots: Sequence[int]) -> int:
+        """Delete many slots, charging access stats once for the batch.
+
+        Per-slot index/domain/observer maintenance still runs (certificates
+        must see every mutation); only the accounting is batched, and the
+        totals match per-slot deletes exactly.
+        """
+        for slot in slots:
+            self._remove_row(slot)
+        self._charge("rows_deleted", len(slots))
+        return len(slots)
+
+    def _replace_row(self, slot: int, new_row: Sequence[Any]) -> None:
+        """The structural part of an in-place update, with no accounting."""
         old_row = self.row_at(slot)
         stored = self._check_arity(new_row)
         for index in self._indexes.values():
@@ -197,21 +601,27 @@ class Table:
                     else:
                         counts[old_value] = remaining
                     counts[new_value] = counts.get(new_value, 0) + 1
-        self._rows[slot] = stored
+        self._store.set(slot, stored)
         if self._observers:
             for observer in self._observers:
                 observer.row_updated(old_row, stored)
-        stats = collector()
-        if stats is not None:
-            stats.add("rows_updated")
-        span = current_span()
-        if span is not None:
-            span.add("rows_updated")
+
+    def update_slot(self, slot: int, new_row: Sequence[Any]) -> None:
+        """Replace the row at *slot* in place, keeping indexes consistent."""
+        self._replace_row(slot, new_row)
+        self._charge("rows_updated", 1)
+
+    def update_slots(self, updates: Sequence[tuple[int, Sequence[Any]]]) -> int:
+        """Apply many in-place updates, charging stats once for the batch."""
+        for slot, new_row in updates:
+            self._replace_row(slot, new_row)
+        self._charge("rows_updated", len(updates))
+        return len(updates)
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
         """Delete all rows satisfying *predicate*; return how many."""
-        doomed = [slot for slot, row in enumerate(self._rows)
-                  if row is not None and predicate(row)]
+        doomed = [slot for slot, row in self._store.enumerate_live()
+                  if predicate(row)]
         for slot in doomed:
             self.delete_slot(slot)
         return len(doomed)
@@ -229,7 +639,7 @@ class Table:
                 return False
             self.delete_slot(slots[0])
             return True
-        for slot, existing in enumerate(self._rows):
+        for slot, existing in self._store.enumerate_live():
             if existing == target:
                 self.delete_slot(slot)
                 return True
@@ -237,7 +647,7 @@ class Table:
 
     def truncate(self) -> None:
         """Remove every row but keep schema, index, and domain definitions."""
-        self._rows.clear()
+        self._store.clear()
         self._free_slots.clear()
         self._live_count = 0
         for index in self._indexes.values():
@@ -292,10 +702,9 @@ class Table:
         if position in self._domains:
             return
         counts: dict[Any, int] = {}
-        for row in self._rows:
-            if row is not None:
-                value = row[position]
-                counts[value] = counts.get(value, 0) + 1
+        for row in self._store.iter_live():
+            value = row[position]
+            counts[value] = counts.get(value, 0) + 1
         self._domains[position] = counts
 
     def domain(self, column: str) -> tuple[Any, ...] | None:
@@ -322,9 +731,8 @@ class Table:
                 )
             return existing
         index = HashIndex(key, self.schema.positions(columns), unique=unique)
-        for slot, row in enumerate(self._rows):
-            if row is not None:
-                index.add(row, slot)
+        for slot, row in self._store.enumerate_live():
+            index.add(row, slot)
         self._indexes[key] = index
         return index
 
@@ -354,9 +762,8 @@ class Table:
                 unique=index.unique,
             )
             try:
-                for slot, row in enumerate(self._rows):
-                    if row is not None:
-                        rebuilt.add(row, slot)
+                for slot, row in self._store.enumerate_live():
+                    rebuilt.add(row, slot)
             except TableError:
                 return False
             live = {key: sorted(index._buckets[key]) for key in index.keys()}  # noqa: SLF001
@@ -370,8 +777,12 @@ class Table:
     # ------------------------------------------------------------------
 
     def copy(self, name: str | None = None) -> "Table":
-        """Return a deep copy (rows, index definitions, tracked domains)."""
-        clone = Table(name or self.name, self.schema, self.scan())
+        """Return a deep copy (rows, index definitions, tracked domains).
+
+        The copy keeps the source's storage mode (row or columnar).
+        """
+        clone = Table(name or self.name, self.schema, self.scan(),
+                      storage=self.storage)
         for index in self._indexes.values():
             clone.create_index(index.columns, unique=index.unique)
         for position in self._domains:
@@ -381,7 +792,7 @@ class Table:
     def column_values(self, column: str) -> list[Any]:
         """Return all live values of *column*, in slot order."""
         position = self.schema.position(column)
-        return [row[position] for row in self._rows if row is not None]
+        return list(self._store.column_lists((position,))[0])
 
     def sorted_rows(self) -> list[Row]:
         """Live rows sorted with nulls first — a canonical form for tests."""

@@ -96,11 +96,9 @@ class ChangeSet:
             wanted: Counter[Row] = Counter(self.deletions.scan())
             remaining = sum(wanted.values())
             doomed_slots: list[int] = []
-            for slot, row in enumerate(base._rows):  # noqa: SLF001 - bulk path
+            for slot, row in base.slots():
                 if remaining == 0:
                     break
-                if row is None:
-                    continue
                 count = wanted.get(row, 0)
                 if count:
                     wanted[row] = count - 1

@@ -506,10 +506,7 @@ def _pick_view(warehouse: "Warehouse", view_name: str | None):
 
 
 def _live_slots(table) -> list[int]:
-    return [
-        slot for slot, row in enumerate(table._rows)  # noqa: SLF001
-        if row is not None
-    ]
+    return [slot for slot, _row in table.slots()]
 
 
 class _suppressed_observers:

@@ -1,0 +1,259 @@
+"""Differential testing of the columnar engine.
+
+Hypothesis generates random star-schema change sets and demands that the
+columnar engine (``REPRO_COLUMNAR=1``), the row-store engine, the
+interpreter (``REPRO_CODEGEN=0``), the ``REPRO_COLUMNAR=0`` kill-switch
+configuration, and the SQLite backend all land identical post-refresh
+summary tables — and that each one matches from-scratch recomputation —
+across the Table 1 aggregate shapes and both MIN/MAX deletion policies.
+
+A fault-injection sweep then fails a refresh at every mutation step on a
+columnar view and asserts the rollback restores the physical slot layout
+byte-for-byte with the consistency certificate intact.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    MinMaxPolicy,
+    PropagateOptions,
+    base_recompute_fn,
+    compute_summary_delta,
+    refresh,
+    refresh_atomically,
+)
+from repro.obs.audit import rows_certificate
+from repro.sqlite_backend import SqliteWarehouse
+from repro.views import MaterializedView, compute_rows
+from repro.warehouse import ChangeSet
+
+from ..property.test_property_refresh import (
+    build_fact,
+    fact_rows,
+    make_view,
+    split_changes,
+)
+from .harness import differ_message, env, rows_equivalent
+
+#: The engine matrix: every configuration must land the same final state.
+#: ``columnar_killed`` proves the kill-switch path is the row path even
+#: when the environment asks for columnar storage.
+ENGINES = {
+    "row": {"REPRO_COLUMNAR": None, "REPRO_CODEGEN": None},
+    "columnar": {"REPRO_COLUMNAR": "1", "REPRO_CODEGEN": None},
+    "columnar_killed": {"REPRO_COLUMNAR": "0", "REPRO_CODEGEN": None},
+    "interpreted": {"REPRO_COLUMNAR": "1", "REPRO_CODEGEN": "0"},
+}
+
+delete_picks = st.lists(st.integers(0, 10_000), max_size=12)
+
+
+@contextmanager
+def engine_env(name):
+    with env("REPRO_COLUMNAR", ENGINES[name]["REPRO_COLUMNAR"]):
+        with env("REPRO_CODEGEN", ENGINES[name]["REPRO_CODEGEN"]):
+            yield
+
+
+def final_state(engine, shape, policy, base, to_insert, to_delete):
+    """Build → propagate → refresh one engine configuration end to end
+    (table construction included, so storage defaults apply) and return
+    the post-refresh summary rows."""
+    with engine_env(engine):
+        pos = build_fact(base)
+        view = MaterializedView.build(make_view(pos, shape))
+        expected_storage = (
+            "column" if ENGINES[engine]["REPRO_COLUMNAR"] == "1" else "row"
+        )
+        assert view.table.storage == expected_storage
+        changes = ChangeSet("pos", pos.table.schema)
+        changes.insert_many(to_insert)
+        changes.delete_many(to_delete)
+        delta = compute_summary_delta(
+            view.definition, changes, PropagateOptions(policy=policy)
+        )
+        changes.apply_to(pos.table)
+        refresh(view, delta, recompute=base_recompute_fn(view.definition))
+        recomputed = compute_rows(view.definition).sorted_rows()
+        return view.table.sorted_rows(), recomputed
+
+
+@pytest.mark.parametrize("shape", ["fine", "minmax", "coarse"])
+@pytest.mark.parametrize("policy", list(MinMaxPolicy))
+@settings(max_examples=15, deadline=None)
+@given(base=fact_rows, inserted=fact_rows, picks=delete_picks)
+def test_columnar_engines_agree(shape, policy, base, inserted, picks):
+    """All four engine configurations land identical post-refresh views,
+    each equal to from-scratch recomputation."""
+    to_insert, to_delete = split_changes(base, inserted, picks)
+    states = {}
+    for engine in ENGINES:
+        state, recomputed = final_state(
+            engine, shape, policy, base, to_insert, to_delete
+        )
+        states[engine] = state
+        assert rows_equivalent(recomputed, state), differ_message(
+            f"{engine} post-refresh view and recomputation",
+            base, to_insert, to_delete, recomputed, state,
+        )
+    reference = states["row"]
+    for engine, state in states.items():
+        assert state == reference, differ_message(
+            f"row-store and {engine} post-refresh views",
+            base, to_insert, to_delete, reference, state,
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(base=fact_rows, inserted=fact_rows, picks=delete_picks)
+def test_columnar_and_sqlite_agree(base, inserted, picks):
+    """The columnar engine and the SQLite backend (the paper's literal
+    SQL) land identical post-refresh summary tables."""
+    to_insert, to_delete = split_changes(base, inserted, picks)
+    columnar, _ = final_state(
+        "columnar", "minmax", MinMaxPolicy.PAPER, base, to_insert, to_delete
+    )
+
+    sqlite_pos = build_fact(base)
+    warehouse = SqliteWarehouse()
+    warehouse.load_fact(sqlite_pos)
+    warehouse.define_summary_table(make_view(sqlite_pos, "minmax"))
+    changes = ChangeSet("pos", sqlite_pos.table.schema)
+    changes.insert_many(to_insert)
+    changes.delete_many(to_delete)
+    warehouse.maintain(changes)
+    sqlite_rows = [tuple(row) for row in warehouse.sorted_rows("v")]
+
+    assert rows_equivalent(sqlite_rows, columnar), differ_message(
+        "sqlite and columnar post-refresh views",
+        base, to_insert, to_delete, sqlite_rows, columnar,
+    )
+
+
+class InjectedFailure(RuntimeError):
+    pass
+
+
+class TestColumnarRollback:
+    """Fault injection on a columnar view: rollback must restore the
+    physical slot layout byte-for-byte and keep the certificate intact."""
+
+    BASE = [
+        (1, 1, 1, 2, 1.0),
+        (1, 2, 2, 3, 1.0),
+        (2, 1, 1, 5, 1.0),
+        (2, 2, 2, 8, 1.0),
+        (2, 3, 4, None, 1.0),
+        (3, 2, 3, 1, 1.0),
+        (4, 4, 5, 7, 1.0),
+    ]
+    #: Inserts touching only existing groups (updates/recomputes) — an
+    #: insert *action* (new group) rolls back to a trailing tombstone,
+    #: which byte-identity deliberately excludes (it has its own test).
+    INSERTS = [
+        (1, 1, 3, 4, 1.0),
+        (2, 1, 2, 6, 1.0),  # strictly interior to (2, k0): plain update
+    ]
+    NEW_GROUP = (3, 4, 1, 2, 1.0)
+    DELETES = [(1, 2, 2, 3, 1.0), (4, 4, 5, 7, 1.0)]  # MAX threats too
+
+    def prepared(self, shape="minmax", new_group=False):
+        with env("REPRO_COLUMNAR", "1"):
+            pos = build_fact(self.BASE)
+            view = MaterializedView.build(make_view(pos, shape))
+            assert view.table.storage == "column"
+            changes = ChangeSet("pos", pos.table.schema)
+            inserts = list(self.INSERTS)
+            if new_group:
+                inserts.append(self.NEW_GROUP)
+            changes.insert_many(inserts)
+            changes.delete_many(self.DELETES)
+            delta = compute_summary_delta(view.definition, changes)
+            changes.apply_to(pos.table)
+            return view, delta, base_recompute_fn(view.definition)
+
+    def step_count(self):
+        view, delta, recompute = self.prepared()
+        return refresh_atomically(view, delta, recompute).touched
+
+    def test_workload_exercises_every_mutation_kind(self):
+        view, delta, recompute = self.prepared(new_group=True)
+        stats = refresh_atomically(view, delta, recompute)
+        assert stats.inserted > 0
+        assert stats.updated > 0
+        assert stats.deleted > 0
+        assert stats.recomputed > 0
+        with env("REPRO_COLUMNAR", "1"):
+            expected = compute_rows(view.definition).sorted_rows()
+        assert view.table.sorted_rows() == expected
+
+    def test_rollback_is_byte_identical_with_intact_certificate(self):
+        total = self.step_count()
+        assert total > 0
+        for failing_step in range(total):
+            view, delta, recompute = self.prepared()
+            # Byte-identical means the physical slot layout (tombstones
+            # included), not just the sorted row multiset.
+            before_slots = list(view.table._rows)  # noqa: SLF001
+            assert view.certificate is not None
+            before_cert = view.certificate.value
+
+            def hook(step, failing=failing_step):
+                if step == failing:
+                    raise InjectedFailure(f"at step {failing}")
+
+            with pytest.raises(InjectedFailure):
+                refresh_atomically(
+                    view, delta, recompute, failure_hook=hook
+                )
+            assert list(view.table._rows) == before_slots, (  # noqa: SLF001
+                f"columnar rollback not byte-identical at step {failing_step}"
+            )
+            assert view.certificate.value == before_cert
+            assert view.certificate.value == rows_certificate(
+                view.table.rows()
+            )
+            assert view.table.verify_indexes()
+
+    def test_insert_rollback_leaves_only_a_trailing_tombstone(self):
+        """Rolling back past an applied insert cannot shrink the slot
+        space — the freed slot stays as a tombstone at the tail (same as
+        the row backing) and is recycled by the eventual retry."""
+        view, delta, recompute = self.prepared(new_group=True)
+        before_slots = list(view.table._rows)  # noqa: SLF001
+        before_cert = view.certificate.value
+
+        def hook(step):
+            if step == 1:  # after the new-group insert landed
+                raise InjectedFailure
+
+        with pytest.raises(InjectedFailure):
+            refresh_atomically(view, delta, recompute, failure_hook=hook)
+        after_slots = list(view.table._rows)  # noqa: SLF001
+        assert after_slots[:len(before_slots)] == before_slots
+        assert after_slots[len(before_slots):] == [None]
+        assert view.certificate.value == before_cert
+        assert view.table.verify_indexes()
+        refresh_atomically(view, delta, recompute)
+        assert len(view.table._rows) == len(after_slots)  # noqa: SLF001
+
+    def test_retry_after_columnar_rollback_succeeds(self):
+        view, delta, recompute = self.prepared(new_group=True)
+        first = True
+
+        def hook(step):
+            nonlocal first
+            if first and step == 1:
+                first = False
+                raise InjectedFailure
+
+        with pytest.raises(InjectedFailure):
+            refresh_atomically(view, delta, recompute, failure_hook=hook)
+        refresh_atomically(view, delta, recompute, failure_hook=hook)
+        with env("REPRO_COLUMNAR", "1"):
+            expected = compute_rows(view.definition).sorted_rows()
+        assert view.table.sorted_rows() == expected
+        assert view.certificate.value == rows_certificate(view.table.rows())

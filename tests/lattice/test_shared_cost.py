@@ -13,6 +13,7 @@ from repro.lattice import (
     build_lattice_for_views,
     collect_statistics,
     estimate_plan_cost,
+    group_fusion_choice,
     propagation_levels,
 )
 from repro.views import MaterializedView
@@ -97,11 +98,20 @@ class TestSharedCostModel:
         assert estimate.shared_scan is True
 
         owners = {group[0] for group in lattice.sibling_groups()}
+        fused_names = {
+            name
+            for group in lattice.sibling_groups()
+            if group_fusion_choice(
+                [len(lattice.node(m).edge.dimension_joins) for m in group]
+            )
+            for name in group
+        }
+        assert fused_names  # the retail lattice has at least one fused group
         for name, node in estimate.nodes.items():
             if node.is_root:
                 assert not node.shared_scan
                 assert node.per_child_accesses == node.propagate_accesses
-            else:
+            elif name in fused_names:
                 assert node.shared_scan
                 assert node.scan_owner == (name in owners)
                 # Fusing never costs more than the per-child replay it
@@ -109,6 +119,12 @@ class TestSharedCostModel:
                 assert node.propagate_accesses <= node.per_child_accesses
                 if not node.scan_owner:
                     assert node.propagate_accesses < node.per_child_accesses
+            else:
+                # Cost-based fusion: a lone no-join child replays its edge
+                # per-child, so it is predicted (and executed) unfused.
+                assert not node.shared_scan
+                assert not node.scan_owner
+                assert node.propagate_accesses == node.per_child_accesses
 
         saved = estimate.shared_scan_saved_accesses
         assert saved > 0
@@ -147,3 +163,36 @@ class TestSharedCostModel:
         assert shared.refresh_accesses == legacy.refresh_accesses
         assert shared.without_lattice_accesses == legacy.without_lattice_accesses
         assert shared.with_lattice_accesses < legacy.with_lattice_accesses
+
+
+class TestGroupFusionChoice:
+    """The cost-based fusion rule: fuse a sibling group when it has two
+    or more children (one scan amortizes) or any dimension joins (the
+    fused kernel probes once where per-child replay probes per join);
+    a lone join-free child gains nothing from the fused kernel."""
+
+    @pytest.mark.parametrize("join_counts,fused", [
+        ([0], False),          # singleton, no joins: replay the edge
+        ([1], True),           # singleton with a join: probes amortize
+        ([2], True),
+        ([0, 0], True),        # two siblings always share the scan
+        ([1, 1], True),
+        ([], False),           # degenerate: nothing to fuse
+    ])
+    def test_rule(self, join_counts, fused):
+        assert group_fusion_choice(join_counts) is fused
+
+    def test_plan_and_estimate_make_the_same_choice(self, retail):
+        """`run_unit` (plan.py) and `estimate_plan_cost` both defer to
+        this predicate, keyed by each node's dimension-join count."""
+        _data, views, changes = retail
+        lattice = build_lattice_for_views(views)
+        stats = collect_statistics(lattice, changes)
+        plan = estimate_plan_cost(lattice, stats, shared_scan=True)
+        for unit in lattice.sibling_groups():
+            expected = group_fusion_choice([
+                len(lattice.node(name).edge.dimension_joins)
+                for name in unit
+            ])
+            for name in unit:
+                assert plan.nodes[name].shared_scan is expected

@@ -31,6 +31,7 @@ def default_switches(monkeypatch):
     environment so CI's kill-switch matrix runs don't mask it."""
     monkeypatch.delenv("REPRO_SHARED_SCAN", raising=False)
     monkeypatch.delenv("REPRO_CODEGEN", raising=False)
+    monkeypatch.delenv("REPRO_COLUMNAR", raising=False)
 
 
 @pytest.fixture
@@ -137,3 +138,69 @@ class TestKernel:
         children = [edge.fused_child(MinMaxPolicy.PAPER) for edge in edges]
         scan = prepare_fused_scan(parent_delta.table.schema, children)
         assert scan.source.count("for _r in _rows:") == 1
+
+
+class TestBatchFolds:
+    """The batch (columnar) and chunked folds of one fused scan must equal
+    the row fold — same group dicts, same probe counts, same finalized
+    tables in either storage mode."""
+
+    def scan_and_delta(self, fused_inputs, policy=MinMaxPolicy.PAPER):
+        parent_delta, edges = fused_inputs
+        children = [edge.fused_child(policy) for edge in edges]
+        scan = prepare_fused_scan(parent_delta.table.schema, children)
+        assert scan is not None
+        return scan, parent_delta, edges
+
+    @pytest.mark.parametrize("policy", list(MinMaxPolicy))
+    def test_fold_columns_equals_fold(self, fused_inputs, policy):
+        scan, parent_delta, _edges = self.scan_and_delta(fused_inputs, policy)
+        assert scan.supports_columns
+        rows = parent_delta.table.rows()
+        row_groups, row_probes = scan.fold(rows)
+        col_groups, col_probes = scan.fold_columns(
+            parent_delta.table.columns(), len(parent_delta.table)
+        )
+        assert col_groups == row_groups
+        assert col_probes == row_probes
+
+    @pytest.mark.parametrize("chunks", [1, 2, 3, 7])
+    def test_fold_chunked_equals_fold(self, fused_inputs, chunks):
+        scan, parent_delta, _edges = self.scan_and_delta(fused_inputs)
+        rows = parent_delta.table.rows()
+        serial_groups, serial_probes = scan.fold(rows)
+        chunked_groups, chunked_probes = scan.fold_chunked(
+            rows, chunks, backend="thread", max_workers=2
+        )
+        assert chunked_groups == serial_groups
+        assert chunked_probes == serial_probes
+
+    def test_finalize_inherits_requested_storage(self, fused_inputs):
+        scan, parent_delta, edges = self.scan_and_delta(fused_inputs)
+        groups, _probes = scan.fold(parent_delta.table.rows())
+        for index, edge in enumerate(edges):
+            as_row = scan.finalize(index, groups[index], storage="row")
+            as_col = scan.finalize(index, groups[index], storage="column")
+            assert as_row.storage == "row"
+            assert as_col.storage == "column"
+            assert as_col.rows() == as_row.rows()
+            assert as_row.rows() == edge.apply_delta(
+                parent_delta.table, MinMaxPolicy.PAPER
+            ).rows()
+
+    def test_fold_columns_on_columnar_delta(self, fused_inputs):
+        """Feeding the kernel a real columnar table's columns (typed
+        arrays included) changes nothing."""
+        scan, parent_delta, _edges = self.scan_and_delta(fused_inputs)
+        columnar = Table(
+            parent_delta.table.name,
+            parent_delta.table.schema,
+            storage="column",
+        )
+        columnar.append_batch(parent_delta.table.columns())
+        row_groups, row_probes = scan.fold(parent_delta.table.rows())
+        col_groups, col_probes = scan.fold_columns(
+            columnar.columns(), len(columnar)
+        )
+        assert col_groups == row_groups
+        assert col_probes == row_probes
