@@ -65,6 +65,7 @@ from .errors import (
     InconsistentDeltaError,
     LatticeError,
     MaintenanceError,
+    PublishError,
     ReproError,
     SchemaError,
     TableError,
@@ -153,6 +154,7 @@ __all__ = [
     "MinMaxPolicy",
     "NightlyResult",
     "PropagateOptions",
+    "PublishError",
     "QueryPlan",
     "QueryRouter",
     "RefreshStats",

@@ -1,0 +1,212 @@
+"""Serving benchmark: query throughput with maintenance running vs quiesced.
+
+The paper's batch-window model stops all queries while summary tables
+refresh; epoch-versioned views let the :mod:`repro.serve` query server keep
+answering during propagate/refresh.  This harness quantifies that: a pool
+of reader threads hammers a mixed query workload against the Figure 1
+retail warehouse, first with the warehouse quiesced, then with a background
+maintenance loop continuously running full versioned maintenance cycles
+(propagate → copy-on-refresh → certificate-validated publish).
+
+Recorded into the ``serving`` section of ``BENCH_propagate.json``:
+queries-per-second in both regimes, how many maintenance cycles (and
+epoch publishes) overlapped the measured window, and the result-cache hit
+rate under invalidation pressure.
+
+Run as::
+
+    PYTHONPATH=src python -m repro.bench.serve_bench [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+from typing import Sequence
+
+from ..aggregates import CountStar, Sum
+from ..lattice.plan import maintain_lattice
+from ..query.router import AggregateQuery
+from ..relational.expressions import col
+from ..serve import QueryServer
+from ..workload import (
+    RetailConfig,
+    build_retail_warehouse,
+    generate_retail,
+    update_generating_changes,
+)
+from .reporting import write_bench_json
+
+DEFAULT_POS_ROWS = 50_000
+DEFAULT_CHANGE_SIZE = 2_000
+DEFAULT_THREADS = 4
+DEFAULT_QUERIES_PER_THREAD = 500
+
+
+def serving_queries(pos) -> list[AggregateQuery]:
+    """A mixed workload, every query answerable from a summary table."""
+    return [
+        AggregateQuery.create(
+            pos, group_by=["region"],
+            aggregates=[("units", Sum(col("qty")))],
+        ),
+        AggregateQuery.create(
+            pos, group_by=["city", "region"],
+            aggregates=[("sales", CountStar()), ("units", Sum(col("qty")))],
+        ),
+        AggregateQuery.create(
+            pos, group_by=["storeID", "date"],
+            aggregates=[("units", Sum(col("qty")))],
+        ),
+        AggregateQuery.create(
+            pos, group_by=["category"],
+            aggregates=[("sales", CountStar())],
+        ),
+        AggregateQuery.create(
+            pos, group_by=[],
+            aggregates=[("units", Sum(col("qty")))],
+        ),
+    ]
+
+
+def _hammer(
+    server: QueryServer,
+    queries: Sequence[AggregateQuery],
+    threads: int,
+    per_thread: int,
+) -> float:
+    """Run the workload from *threads* reader threads; return seconds."""
+    barrier = threading.Barrier(threads + 1)
+    errors: list[BaseException] = []
+
+    def reader(seed: int) -> None:
+        barrier.wait()
+        try:
+            for i in range(per_thread):
+                server.answer(queries[(seed + i) % len(queries)])
+        except BaseException as failure:   # surfaced to the caller
+            errors.append(failure)
+
+    workers = [
+        threading.Thread(target=reader, args=(seed,), daemon=True)
+        for seed in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def run_serving(
+    pos_rows: int = DEFAULT_POS_ROWS,
+    change_size: int = DEFAULT_CHANGE_SIZE,
+    threads: int = DEFAULT_THREADS,
+    queries_per_thread: int = DEFAULT_QUERIES_PER_THREAD,
+) -> dict:
+    data = generate_retail(RetailConfig(pos_rows=pos_rows))
+    warehouse = build_retail_warehouse(data)
+    views = warehouse.views_over("pos")
+    queries = serving_queries(data.pos)
+    total_queries = threads * queries_per_thread
+
+    # Regime 1: quiesced — no maintenance while readers run.
+    with QueryServer(warehouse, max_workers=threads) as server:
+        for query in queries:   # warm the plan/cache path once
+            server.answer(query)
+        quiesced_s = _hammer(server, queries, threads, queries_per_thread)
+
+    # Regime 2: a background maintenance loop runs full versioned cycles
+    # (propagate -> shadow refresh -> certificate-validated publish) for
+    # the whole measured window.
+    stop = threading.Event()
+    cycles = 0
+    maintenance_errors: list[BaseException] = []
+
+    def maintainer() -> None:
+        nonlocal cycles
+        try:
+            while not stop.is_set():
+                changes = update_generating_changes(
+                    data.pos, data.config, change_size, data.rng
+                )
+                maintain_lattice(views, changes, mode="versioned")
+                cycles += 1
+        except BaseException as failure:
+            maintenance_errors.append(failure)
+
+    with QueryServer(warehouse, max_workers=threads) as server:
+        for query in queries:
+            server.answer(query)
+        thread = threading.Thread(target=maintainer, daemon=True)
+        thread.start()
+        maintained_s = _hammer(server, queries, threads, queries_per_thread)
+        stop.set()
+        thread.join()
+        hit_rate = server.stats.hit_rate
+    if maintenance_errors:
+        raise maintenance_errors[0]
+
+    return {
+        "pos_rows": pos_rows,
+        "change_size": change_size,
+        "threads": threads,
+        "queries": total_queries,
+        "mode": "versioned",
+        "qps_quiesced": round(total_queries / quiesced_s, 1),
+        "qps_under_maintenance": round(total_queries / maintained_s, 1),
+        "throughput_ratio": round(quiesced_s / maintained_s, 3),
+        "maintenance_cycles": cycles,
+        "epochs_published": max(view.epoch for view in views),
+        "cache_hit_rate": round(hit_rate, 3),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.serve_bench",
+        description="query throughput under concurrent versioned maintenance",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke-test scale (5k rows, 2 threads, 50 queries each) for CI",
+    )
+    parser.add_argument("--pos-rows", type=int, default=None)
+    parser.add_argument("--changes", type=int, default=None)
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--queries-per-thread", type=int, default=None)
+    parser.add_argument(
+        "--output", default=None,
+        help="JSON path (default: BENCH_propagate.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    pos_rows = args.pos_rows or (5_000 if args.quick else DEFAULT_POS_ROWS)
+    change_size = args.changes or (500 if args.quick else DEFAULT_CHANGE_SIZE)
+    threads = args.threads or (2 if args.quick else DEFAULT_THREADS)
+    per_thread = args.queries_per_thread or (
+        50 if args.quick else DEFAULT_QUERIES_PER_THREAD
+    )
+
+    serving = run_serving(pos_rows, change_size, threads, per_thread)
+    print(f"serving benchmark ({pos_rows:,} pos rows, "
+          f"{threads} reader threads x {per_thread} queries):")
+    print(f"  quiesced:          {serving['qps_quiesced']:>10,.1f} qps")
+    print(f"  under maintenance: {serving['qps_under_maintenance']:>10,.1f} qps "
+          f"({serving['maintenance_cycles']} cycles, "
+          f"{serving['epochs_published']} epochs published)")
+    print(f"  cache hit rate:    {serving['cache_hit_rate']:>10.1%}")
+
+    path = write_bench_json("serving", serving, args.output)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

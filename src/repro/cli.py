@@ -18,6 +18,11 @@ Commands
     Micro-benchmark of the parallel propagate engine (serial vs compiled
     vs chunked-parallel aggregation, plus level-parallel lattice walks);
     merges results into ``BENCH_propagate.json``.
+``bench-serve``
+    Query throughput with maintenance running vs quiesced: reader threads
+    hammer the query server while a background loop runs full versioned
+    maintenance cycles; merges the ``serving`` section into
+    ``BENCH_propagate.json``.
 ``trace``
     Run one nightly maintenance over the Figure 9 retail workload under
     the observability layer and print the span tree, the metrics snapshot,
@@ -266,6 +271,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         path = write_trace_jsonl(root, args.jsonl)
         print(f"trace written to {path}")
     return 0 if agrees else 1
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .bench.serve_bench import main as bench_main
+
+    forwarded: list[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.pos_rows is not None:
+        forwarded += ["--pos-rows", str(args.pos_rows)]
+    if args.changes is not None:
+        forwarded += ["--changes", str(args.changes)]
+    if args.threads is not None:
+        forwarded += ["--threads", str(args.threads)]
+    if args.queries_per_thread is not None:
+        forwarded += ["--queries-per-thread", str(args.queries_per_thread)]
+    if args.output is not None:
+        forwarded += ["--output", args.output]
+    return bench_main(forwarded)
 
 
 def _cmd_bench_propagate(args: argparse.Namespace) -> int:
@@ -739,6 +763,20 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="fail if tracing overhead exceeds PCT percent")
     bench.set_defaults(func=_cmd_bench_propagate)
+
+    serve = sub.add_parser(
+        "bench-serve",
+        help="benchmark query throughput under concurrent maintenance",
+    )
+    serve.add_argument("--quick", action="store_true",
+                       help="smoke-test scale (5k rows, 2 threads)")
+    serve.add_argument("--pos-rows", type=int, default=None)
+    serve.add_argument("--changes", type=int, default=None)
+    serve.add_argument("--threads", type=int, default=None)
+    serve.add_argument("--queries-per-thread", type=int, default=None)
+    serve.add_argument("--output", default=None,
+                       help="JSON path (default: BENCH_propagate.json)")
+    serve.set_defaults(func=_cmd_bench_serve)
 
     trace = sub.add_parser(
         "trace",

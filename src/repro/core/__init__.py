@@ -19,8 +19,16 @@ from .recompute import (
     plan_index_recompute,
     recompute_groups_via_index,
 )
-from .refresh import RefreshStats, RefreshVariant, refresh
-from .transactional import UndoLog, refresh_atomically
+from .refresh import (
+    RefreshMode,
+    RefreshStats,
+    RefreshVariant,
+    apply_refresh,
+    refresh,
+    resolve_refresh_mode,
+    versioned_default,
+)
+from .transactional import UndoLog, refresh_atomically, refresh_versioned
 
 __all__ = [
     "GroupRecomputeResult",
@@ -28,10 +36,12 @@ __all__ = [
     "MaintenanceResult",
     "MinMaxPolicy",
     "PropagateOptions",
+    "RefreshMode",
     "RefreshStats",
     "RefreshVariant",
     "SummaryDelta",
     "UndoLog",
+    "apply_refresh",
     "base_recompute_fn",
     "classify_dimensions",
     "compute_summary_delta",
@@ -48,4 +58,7 @@ __all__ = [
     "rematerialize_views",
     "refresh",
     "refresh_atomically",
+    "refresh_versioned",
+    "resolve_refresh_mode",
+    "versioned_default",
 ]

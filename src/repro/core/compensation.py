@@ -14,6 +14,7 @@ disagree.
 
 from __future__ import annotations
 
+from ..relational.table import Table
 from ..views.materialize import MaterializedView
 from .deltas import SummaryDelta
 from .refresh import RecomputeFn, RefreshVariant, refresh
@@ -23,6 +24,7 @@ def read_through_delta(
     view: MaterializedView,
     delta: SummaryDelta,
     recompute: RecomputeFn | None = None,
+    table: "Table | None" = None,
 ) -> MaterializedView:
     """Return a *copy* of the view with *delta* applied.
 
@@ -32,6 +34,11 @@ def read_through_delta(
     :meth:`~repro.views.materialize.MaterializedView.read` or the query
     router).
 
+    *table* optionally supplies the stored state to compensate — a caller
+    that pinned a :class:`~repro.views.materialize.ViewVersion` passes its
+    table here so the compensated read starts from that exact epoch; the
+    default is the view's current table.
+
     MIN/MAX caveats: when the delta threatens a stored extremum, refresh
     consults base data through *recompute*.  During the online window the
     base table has **not** yet absorbed the changes, so a recompute-needing
@@ -39,7 +46,8 @@ def read_through_delta(
     Pass ``recompute=None`` (the default) to fail fast in that case rather
     than serve a wrong answer; views without MIN/MAX never need it.
     """
-    snapshot = MaterializedView(view.definition, view.table.copy())
+    source = table if table is not None else view.table
+    snapshot = MaterializedView(view.definition, source.copy())
     refresh(
         snapshot,
         delta,

@@ -77,6 +77,68 @@ def refresh_index_enabled() -> bool:
     return os.environ.get("REPRO_REFRESH_INDEX", "1") != "0"
 
 
+class RefreshMode(enum.Enum):
+    """How a maintenance cycle applies summary deltas to stored views.
+
+    * ``INPLACE`` — Figure 7 applied directly to the live table (the
+      paper's batch-window assumption: no concurrent readers).
+    * ``ATOMIC`` — in-place with an undo log
+      (:func:`repro.core.transactional.refresh_atomically`): all-or-
+      nothing, but readers mid-refresh can still observe intermediate
+      states.
+    * ``VERSIONED`` — copy-on-refresh
+      (:func:`repro.core.transactional.refresh_versioned`): the delta is
+      applied to a private shadow copy, validated against its consistency
+      certificate, and published with a single reference swap, so
+      concurrent readers never see a torn view.
+    """
+
+    INPLACE = "inplace"
+    ATOMIC = "atomic"
+    VERSIONED = "versioned"
+
+
+def versioned_default() -> bool:
+    """Whether maintenance defaults to versioned copy-on-refresh.
+
+    ``REPRO_VERSIONED=1`` flips the fleet-wide default; in-place remains
+    the default otherwise (it matches the paper's batch-window setting
+    and does no table copying)."""
+    return os.environ.get("REPRO_VERSIONED", "0") == "1"
+
+
+def resolve_refresh_mode(mode: "RefreshMode | str | None" = None) -> RefreshMode:
+    """Normalise a mode argument: enum member, its string value, or
+    ``None`` for the environment-driven default."""
+    if mode is None:
+        return RefreshMode.VERSIONED if versioned_default() else RefreshMode.INPLACE
+    if isinstance(mode, RefreshMode):
+        return mode
+    return RefreshMode(str(mode).lower())
+
+
+def apply_refresh(
+    view: MaterializedView,
+    delta: SummaryDelta,
+    recompute: "RecomputeFn | None" = None,
+    variant: RefreshVariant = RefreshVariant.CURSOR,
+    mode: "RefreshMode | str | None" = None,
+) -> "RefreshStats":
+    """Apply one summary delta through the selected :class:`RefreshMode`.
+
+    The single dispatch point the lattice/maintenance layers go through,
+    so a whole cycle switches discipline with one argument (or the
+    ``REPRO_VERSIONED`` environment default)."""
+    resolved = resolve_refresh_mode(mode)
+    if resolved is RefreshMode.INPLACE:
+        return refresh(view, delta, recompute, variant)
+    from .transactional import refresh_atomically, refresh_versioned
+
+    if resolved is RefreshMode.ATOMIC:
+        return refresh_atomically(view, delta, recompute)
+    return refresh_versioned(view, delta, recompute, variant)
+
+
 class GroupLocator:
     """Figure 7's "find the summary tuple with t's group-by values".
 

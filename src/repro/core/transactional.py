@@ -33,11 +33,18 @@ from .refresh import (
     RefreshActions,
     RefreshPlan,
     RefreshStats,
+    RefreshVariant,
     _record_refresh_stats,
+    _refresh_impl,
     decide,
 )
 
 FailureHook = Callable[[int], None]
+
+#: Fault-injection hook for the versioned path: invoked with the stage
+#: name (``"build"`` before the shadow refresh, ``"publish"`` after the
+#: shadow is complete but before the swap) and may raise.
+StageHook = Callable[[str], None]
 
 
 class UndoLog:
@@ -100,6 +107,60 @@ def refresh_atomically(
             view, delta, recompute, failure_hook, refresh_span, locator
         )
         _record_refresh_stats(refresh_span, stats, locator)
+        view.freshness.mark_refreshed(stats.delta_rows)
+        return stats
+
+
+def refresh_versioned(
+    view: MaterializedView,
+    delta: SummaryDelta,
+    recompute: RecomputeFn | None = None,
+    variant: RefreshVariant = RefreshVariant.CURSOR,
+    failure_hook: StageHook | None = None,
+    validate: bool = True,
+) -> RefreshStats:
+    """Apply *delta* to a shadow copy of *view* and atomically publish it.
+
+    The copy-on-refresh discipline behind concurrent serving:
+
+    1. :meth:`~repro.views.materialize.MaterializedView.begin_version`
+       copies the current epoch's table (rows + index definitions) into a
+       private :class:`~repro.views.materialize.ShadowVersion` whose
+       certificate is seeded O(1) from the live one;
+    2. the shared Figure 7 machinery refreshes the shadow exactly as it
+       would the live table — readers see none of it;
+    3. :meth:`~repro.views.materialize.MaterializedView.publish` validates
+       the shadow's incrementally-maintained certificate against a fresh
+       digest of its rows (*validate*) and installs it with one reference
+       swap.
+
+    A failure anywhere — including the injected *failure_hook*, invoked
+    with ``"build"`` then ``"publish"`` — simply abandons the shadow: the
+    published epoch, its certificate, and every pinned reader snapshot
+    are untouched, and committed epochs are never unpublished.
+    """
+    if delta.definition.name != view.definition.name:
+        raise MaintenanceError(
+            f"delta for {delta.definition.name!r} applied to view "
+            f"{view.definition.name!r}"
+        )
+    with tracing.span(
+        "refresh_versioned", view=view.definition.name, variant=variant.value,
+    ) as span:
+        shadow = view.begin_version()
+        span.set_tag("base_epoch", shadow.base_epoch)
+        if failure_hook is not None:
+            failure_hook("build")
+        locator = GroupLocator(shadow)
+        span.set_tag("indexed", locator.indexed)
+        stats = _refresh_impl(shadow, delta, recompute, variant, False, locator)
+        if failure_hook is not None:
+            failure_hook("publish")
+        published = view.publish(shadow, validate=validate)
+        span.set_tag("epoch", published.epoch)
+        _record_refresh_stats(span, stats, locator)
+        if tracing.enabled():
+            obs_metrics.registry().counter("refresh.published_epochs").inc()
         view.freshness.mark_refreshed(stats.delta_rows)
         return stats
 

@@ -55,5 +55,15 @@ class InconsistentDeltaError(MaintenanceError):
     """
 
 
+class PublishError(MaintenanceError):
+    """A shadow view version cannot be published.
+
+    Raised when the shadow was built against an epoch that is no longer
+    current (two concurrent maintainers raced) or when the shadow's
+    incrementally-maintained certificate does not match a fresh digest of
+    its rows (a torn or corrupted build must never become visible).
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator was configured with impossible parameters."""

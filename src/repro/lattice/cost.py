@@ -415,12 +415,15 @@ def actual_node_accesses(root: "Span") -> dict[str, int | float]:
     return actuals
 
 
+_REFRESH_SPANS = frozenset({"refresh", "refresh_atomic", "refresh_versioned"})
+
+
 def actual_refresh_accesses(root: "Span") -> dict[str, int | float]:
     """Per-view refresh accesses measured from a traced run (the
-    ``refresh`` spans, keyed by their ``view`` tag)."""
+    refresh spans — any mode — keyed by their ``view`` tag)."""
     actuals: dict[str, int | float] = {}
     for span in root.walk():
-        if span.name == "refresh" and "view" in span.tags:
+        if span.name in _REFRESH_SPANS and "view" in span.tags:
             name = str(span.tags["view"])
             actuals[name] = actuals.get(name, 0) + span_access_units(span)
     return actuals

@@ -31,7 +31,13 @@ from typing import Mapping, Sequence
 from ..core.deltas import SummaryDelta
 from ..core.maintenance import base_recompute_fn
 from ..core.propagate import PropagateOptions, compute_summary_delta
-from ..core.refresh import RefreshStats, RefreshVariant, refresh
+from ..core.refresh import (
+    RefreshMode,
+    RefreshStats,
+    RefreshVariant,
+    apply_refresh,
+    resolve_refresh_mode,
+)
 from ..obs import metrics as obs_metrics
 from ..obs import tracing
 from ..obs.ledger import active_ledger
@@ -358,20 +364,29 @@ def refresh_lattice(
     deltas: Mapping[str, SummaryDelta],
     variant: RefreshVariant = RefreshVariant.CURSOR,
     clock: BatchWindowClock | None = None,
+    mode: RefreshMode | str | None = None,
 ) -> dict[str, RefreshStats]:
-    """Refresh every view from its delta (inside the batch window)."""
+    """Refresh every view from its delta (inside the batch window).
+
+    *mode* selects the application discipline per
+    :class:`~repro.core.refresh.RefreshMode` (``None`` resolves the
+    ``REPRO_VERSIONED`` default); ``VERSIONED`` turns the offline
+    refresh phases into copy-and-swap publishes that concurrent readers
+    can overlap with."""
     clock = clock or BatchWindowClock()
+    resolved_mode = resolve_refresh_mode(mode)
     stats: dict[str, RefreshStats] = {}
     for name, view in views.items():
         delta = deltas.get(name)
         if delta is None:
             raise MaintenanceError(f"no summary delta computed for view {name!r}")
         with clock.offline(f"refresh:{name}", node=name):
-            stats[name] = refresh(
+            stats[name] = apply_refresh(
                 view,
                 delta,
                 recompute=base_recompute_fn(view.definition),
                 variant=variant,
+                mode=resolved_mode,
             )
     return stats
 
@@ -407,12 +422,15 @@ def maintain_lattice(
     apply_base_changes: bool = True,
     auxiliary: Sequence = (),
     clock: BatchWindowClock | None = None,
+    mode: RefreshMode | str | None = None,
 ) -> LatticeMaintenanceResult:
     """Nightly summary-delta maintenance for a set of views.
 
     All views must aggregate the same fact table, the one *changes* applies
     to.  ``use_lattice=False`` gives the paper's propagate-without-lattice
-    baseline while keeping refresh identical.
+    baseline while keeping refresh identical.  *mode* picks the refresh
+    discipline (in-place / atomic / versioned copy-and-swap); ``None``
+    resolves the ``REPRO_VERSIONED`` environment default.
 
     *auxiliary* accepts extra view *definitions* that are not materialised:
     their summary deltas are computed and placed in the lattice so that
@@ -429,6 +447,7 @@ def maintain_lattice(
             "views separately"
         )
     clock = clock or BatchWindowClock()
+    mode = resolve_refresh_mode(mode)
     views_by_name = {view.name: view for view in views}
 
     ledger = active_ledger()
@@ -481,7 +500,7 @@ def maintain_lattice(
             with clock.offline("apply-base", fact=fact.name):
                 changes.apply_to(views[0].definition.fact.table)
 
-        stats = refresh_lattice(views_by_name, deltas, variant, clock)
+        stats = refresh_lattice(views_by_name, deltas, variant, clock, mode=mode)
         result = LatticeMaintenanceResult(
             deltas=deltas, stats=stats, report=clock.report
         )
@@ -491,6 +510,7 @@ def maintain_lattice(
                 options=options,
                 use_lattice=use_lattice,
                 variant=variant,
+                mode=mode,
                 phases=clock.report.phases[phase_mark:],
                 access=access.since(access_before),
                 stats=stats,
@@ -509,13 +529,17 @@ def maintain_lattice(
 
 
 def engine_config(
-    options: PropagateOptions, use_lattice: bool, variant: RefreshVariant
+    options: PropagateOptions,
+    use_lattice: bool,
+    variant: RefreshVariant,
+    mode: RefreshMode | str | None = None,
 ) -> dict:
     """The engine configuration as plain data (the ledger's ``engine``)."""
     config = dataclasses.asdict(options)
     config["policy"] = options.policy.value
     config["use_lattice"] = use_lattice
     config["variant"] = variant.value
+    config["mode"] = resolve_refresh_mode(mode).value
     return config
 
 
@@ -530,6 +554,7 @@ def maintenance_record(
     change_counts: Mapping[str, int],
     estimate: PlanCostEstimate | None,
     freshness: Mapping[str, dict] | None = None,
+    mode: RefreshMode | str | None = None,
 ) -> dict:
     """Build one run-ledger record (see :mod:`repro.obs.ledger` for the
     schema).  Only depth-0 phases are recorded — nested phases would
@@ -537,7 +562,7 @@ def maintenance_record(
     top_level = [phase for phase in phases if phase.depth == 0]
     record = {
         "kind": kind,
-        "engine": engine_config(options, use_lattice, variant),
+        "engine": engine_config(options, use_lattice, variant, mode),
         "phases": [
             {"name": p.name, "seconds": p.seconds, "offline": p.offline}
             for p in top_level

@@ -94,12 +94,23 @@ def _infer_dimensions(
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """Where a query will be answered and how much input it reads."""
+    """Where a query will be answered and how much input it reads.
+
+    ``source_table`` is the routed view's table *pinned at plan time*
+    (the current :class:`~repro.views.materialize.ViewVersion`'s table):
+    evaluation reads this exact reference rather than re-resolving
+    ``source_view.table``, so a version swap published between planning
+    and evaluation — or mid-evaluation — cannot tear the read.
+    ``source_epoch`` records which epoch was pinned, for caching and
+    explain output.
+    """
 
     query: AggregateQuery
     source_view: MaterializedView | None   # None = fall back to base data
     edge: EdgeQuery | None
     input_rows: int
+    source_table: Table | None = None
+    source_epoch: int | None = None
 
     @property
     def uses_summary_table(self) -> bool:
@@ -126,18 +137,26 @@ class QueryRouter:
         self.warehouse = warehouse
 
     def plan(self, query: AggregateQuery) -> QueryPlan:
-        """Pick the smallest materialised view the query derives from."""
+        """Pick the smallest materialised view the query derives from.
+
+        The chosen view's current version is pinned into the plan
+        (:attr:`QueryPlan.source_table` / :attr:`QueryPlan.source_epoch`),
+        so evaluating the plan reads one consistent snapshot no matter how
+        many versioned refreshes publish in between."""
         resolved = query.definition.resolved()
-        best: tuple[int, MaterializedView, EdgeQuery] | None = None
+        best: tuple[int, MaterializedView, EdgeQuery, "Table"] | None = None
         for view in self.warehouse.views.values():
             if view.definition.fact is not query.definition.fact:
                 continue
             edge = try_derive(resolved, view.definition)
             if edge is None:
                 continue
-            cost = len(view.table)
+            # Pin the candidate's version once; costing and (if chosen)
+            # evaluation both use this exact table reference.
+            version = view.pin()
+            cost = len(version.table)
             if best is None or cost < best[0]:
-                best = (cost, view, edge)
+                best = (cost, view, edge, version)
         if best is None:
             return QueryPlan(
                 query=query,
@@ -145,8 +164,15 @@ class QueryRouter:
                 edge=None,
                 input_rows=len(query.definition.fact.table),
             )
-        cost, view, edge = best
-        return QueryPlan(query=query, source_view=view, edge=edge, input_rows=cost)
+        cost, view, edge, version = best
+        return QueryPlan(
+            query=query,
+            source_view=view,
+            edge=edge,
+            input_rows=cost,
+            source_table=version.table,
+            source_epoch=version.epoch,
+        )
 
     def answer(
         self,
@@ -161,17 +187,37 @@ class QueryRouter:
         (:func:`repro.core.compensation.read_through_delta`), so readers
         see post-change data before the batch window runs.
         """
-        plan = self.plan(query)
+        return self.answer_plan(self.plan(query), pending_deltas)
+
+    def answer_plan(
+        self,
+        plan: QueryPlan,
+        pending_deltas: "dict | None" = None,
+    ) -> Table:
+        """Evaluate an already-planned query against its pinned snapshot.
+
+        Reads :attr:`QueryPlan.source_table` — never the live
+        ``view.table`` — so the result reflects exactly the epoch that was
+        current at plan time, even if maintenance publishes new versions
+        (or mutates in place) while the evaluation scans.
+        """
+        query = plan.query
         resolved = query.definition.resolved()
         if plan.source_view is None:
             full = compute_rows(resolved, name="__query__")
         else:
             source = plan.source_view
+            table = plan.source_table
+            if table is None:   # plan built by hand without a pin
+                table = source.pin().table
             if pending_deltas and source.name in pending_deltas:
                 from ..core.compensation import read_through_delta
 
-                source = read_through_delta(source, pending_deltas[source.name])
-            full = plan.edge.apply(source.table, name="__query__")
+                snapshot = read_through_delta(
+                    source, pending_deltas[source.name], table=table
+                )
+                table = snapshot.table
+            full = plan.edge.apply(table, name="__query__")
         return _project_user_columns(full, resolved, query)
 
     def explain(self, query: AggregateQuery) -> str:

@@ -1,0 +1,23 @@
+"""Concurrent query serving over versioned summary tables.
+
+The paper confines maintenance to an exclusive nightly batch window so
+readers can never observe a half-refreshed summary table.  Epoch-versioned
+views (:class:`~repro.views.materialize.ViewVersion`) remove that
+restriction: maintenance publishes each refreshed table with a single
+reference swap, so this package can answer aggregate queries *while*
+propagate/refresh runs, each query pinned to one consistent epoch.
+"""
+
+from .server import (
+    QueryResultCache,
+    QueryServer,
+    ServeStats,
+    query_fingerprint,
+)
+
+__all__ = [
+    "QueryResultCache",
+    "QueryServer",
+    "ServeStats",
+    "query_fingerprint",
+]

@@ -5,7 +5,12 @@ from .definition import (
     DerivedOutput,
     SummaryViewDefinition,
 )
-from .materialize import MaterializedView, compute_rows
+from .materialize import (
+    MaterializedView,
+    ShadowVersion,
+    ViewVersion,
+    compute_rows,
+)
 from .sql import (
     render_prepare_changes_sql,
     render_prepare_sql,
@@ -17,7 +22,9 @@ __all__ = [
     "AggregateOutput",
     "DerivedOutput",
     "MaterializedView",
+    "ShadowVersion",
     "SummaryViewDefinition",
+    "ViewVersion",
     "compute_rows",
     "render_prepare_changes_sql",
     "render_prepare_sql",

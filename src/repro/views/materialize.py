@@ -13,10 +13,17 @@ evaluate derived (``AVG``) outputs.
 
 from __future__ import annotations
 
+import threading
+from dataclasses import dataclass
 from typing import Any
 
-from ..errors import DefinitionError
-from ..obs.audit import ViewCertificate, ViewFreshness, certificates_enabled
+from ..errors import DefinitionError, PublishError
+from ..obs.audit import (
+    ViewCertificate,
+    ViewFreshness,
+    certificates_enabled,
+    rows_certificate,
+)
 from ..relational.aggregation import group_by as physical_group_by
 from ..relational.expressions import col
 from ..relational.operators import select
@@ -48,8 +55,74 @@ def compute_rows(definition: SummaryViewDefinition, name: str | None = None) -> 
     )
 
 
+@dataclass(frozen=True)
+class ViewVersion:
+    """One immutable-once-published epoch of a view's stored table.
+
+    Readers that hold a :class:`ViewVersion` keep its table (and
+    certificate) alive for as long as they reference it, so a query can
+    keep reading a consistent snapshot while maintenance publishes newer
+    epochs — the interpreter's garbage collector is the version store.
+    """
+
+    epoch: int
+    table: Table
+    certificate: ViewCertificate | None
+
+    def stamp(self) -> int:
+        """Monotonic identity for cache keys: the epoch number."""
+        return self.epoch
+
+
+class ShadowVersion:
+    """A next-epoch build in progress: a private copy of the view's table.
+
+    Duck-types the slice of :class:`MaterializedView` that the refresh
+    machinery touches (``definition`` / ``table`` / ``group_key_index``),
+    so :func:`repro.core.refresh.refresh` internals can maintain the
+    shadow exactly as they would the live view.  Nothing the shadow does
+    is visible to readers until :meth:`MaterializedView.publish`.
+    """
+
+    def __init__(
+        self,
+        definition: SummaryViewDefinition,
+        table: Table,
+        certificate: ViewCertificate | None,
+        base_epoch: int,
+    ):
+        self.definition = definition
+        self.table = table
+        self.certificate = certificate
+        #: Epoch of the published version this shadow was copied from.
+        self.base_epoch = base_epoch
+        #: Epoch this shadow will become once published.
+        self.epoch = base_epoch + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ShadowVersion({self.definition.name!r}, "
+            f"epoch {self.base_epoch} -> {self.epoch})"
+        )
+
+    def group_key_index(self):
+        if not self.definition.group_by:
+            return None
+        return self.table.index_on(list(self.definition.group_by))
+
+
 class MaterializedView:
-    """A stored summary table: resolved definition + indexed rows."""
+    """A stored summary table: resolved definition + indexed rows.
+
+    The stored table lives inside an epoch-numbered :class:`ViewVersion`;
+    ``view.table`` always resolves to the *current* version's table, and
+    in-place maintenance keeps mutating it exactly as before.  The
+    versioned path (:func:`repro.core.transactional.refresh_versioned`)
+    instead builds a :class:`ShadowVersion` off to the side and installs
+    it with :meth:`publish` — a single reference swap, atomic under the
+    interpreter lock, so concurrent readers either see the whole old
+    epoch or the whole new one and never a mix.
+    """
 
     def __init__(self, definition: SummaryViewDefinition, table: Table):
         if table.schema != definition.storage_schema():
@@ -59,7 +132,6 @@ class MaterializedView:
                 f"{list(definition.storage_schema().columns)}"
             )
         self.definition = definition
-        self.table = table
         if definition.group_by:
             table.create_index(list(definition.group_by))
         #: Incremental consistency certificate, kept in sync with the
@@ -67,10 +139,13 @@ class MaterializedView:
         #: disabled through ``REPRO_CERTIFICATES=0``).  Built from
         #: ``table.rows()`` — not ``scan()`` — because certificate
         #: bookkeeping must not charge tuple-access accounting.
-        self.certificate: ViewCertificate | None = None
+        certificate: ViewCertificate | None = None
         if certificates_enabled():
-            self.certificate = ViewCertificate.from_rows(table.rows())
-            table.attach_observer(self.certificate)
+            certificate = ViewCertificate.from_rows(table.rows())
+            table.attach_observer(certificate)
+        self._version = ViewVersion(0, table, certificate)
+        #: Serialises publishers; readers never take it.
+        self._publish_lock = threading.Lock()
         #: Per-view freshness (last refresh time / run id / kind).
         self.freshness = ViewFreshness()
 
@@ -80,6 +155,85 @@ class MaterializedView:
     @property
     def name(self) -> str:
         return self.definition.name
+
+    @property
+    def table(self) -> Table:
+        """The current epoch's stored table (in-place paths mutate it)."""
+        return self._version.table
+
+    @property
+    def certificate(self) -> ViewCertificate | None:
+        """The current epoch's consistency certificate."""
+        return self._version.certificate
+
+    @property
+    def epoch(self) -> int:
+        """Number of published swaps; 0 for a freshly materialised view."""
+        return self._version.epoch
+
+    def pin(self) -> ViewVersion:
+        """Capture the current version for the duration of a read.
+
+        A single attribute load — atomic under the interpreter lock — so
+        the caller gets a consistent ``(epoch, table, certificate)``
+        triple no matter how many publishes race with it.
+        """
+        return self._version
+
+    def version_stamp(self) -> tuple[int, int]:
+        """Cache-invalidation stamp: (epoch, refresh count).
+
+        Changes whenever either a versioned swap publishes a new epoch or
+        an in-place refresh mutates the current one, so result caches
+        keyed on it can never serve stale answers.
+        """
+        return (self._version.epoch, self.freshness.refresh_count)
+
+    def begin_version(self) -> ShadowVersion:
+        """Copy the current version into a private next-epoch shadow.
+
+        The copy carries the rows and index definitions but not the
+        observers; the shadow gets its own certificate, seeded O(1) from
+        the current one's digest-sum and maintained incrementally while
+        the refresh mutates the shadow table.
+        """
+        current = self._version
+        table = current.table.copy()
+        certificate: ViewCertificate | None = None
+        if current.certificate is not None:
+            certificate = ViewCertificate(current.certificate.value)
+            table.attach_observer(certificate)
+        return ShadowVersion(self.definition, table, certificate, current.epoch)
+
+    def publish(self, shadow: ShadowVersion, validate: bool = True) -> ViewVersion:
+        """Atomically install *shadow* as the new current version.
+
+        Refuses to publish a shadow built from a superseded epoch (a
+        racing maintainer won) and, when *validate* is set and
+        certificates are enabled, a shadow whose incrementally-maintained
+        certificate disagrees with a fresh digest of its rows (a torn
+        build).  On success the swap is a single reference assignment;
+        committed epochs are never unpublished.
+        """
+        with self._publish_lock:
+            current = self._version
+            if shadow.base_epoch != current.epoch:
+                raise PublishError(
+                    f"stale shadow for {self.name!r}: built from epoch "
+                    f"{shadow.base_epoch}, current is {current.epoch}"
+                )
+            if validate and shadow.certificate is not None:
+                expected = rows_certificate(shadow.table.rows())
+                if shadow.certificate.value != expected:
+                    raise PublishError(
+                        f"certificate mismatch publishing epoch "
+                        f"{shadow.epoch} of {self.name!r}: maintained "
+                        f"{shadow.certificate.hex}, recomputed "
+                        f"{ViewCertificate(expected).hex}"
+                    )
+            version = ViewVersion(shadow.epoch, shadow.table, shadow.certificate)
+            self._version = version
+            return version
 
     def group_key_index(self):
         """The index on the group-by columns (``None`` for global views)."""

@@ -104,6 +104,7 @@ def run_nightly_maintenance(
                 options=maintain_kwargs.get("options", PropagateOptions()),
                 use_lattice=maintain_kwargs.get("use_lattice", True),
                 variant=maintain_kwargs.get("variant", RefreshVariant.CURSOR),
+                mode=maintain_kwargs.get("mode"),
                 phases=clock.report.phases,
                 access=access.since(access_before),
                 stats=all_stats,

@@ -27,6 +27,7 @@ SUBPACKAGES = [
     "repro.lattice",
     "repro.query",
     "repro.relational",
+    "repro.serve",
     "repro.sqlite_backend",
     "repro.views",
     "repro.warehouse",
