@@ -9,9 +9,16 @@ maintenance loop continuously running full versioned maintenance cycles
 (propagate → copy-on-refresh → certificate-validated publish).
 
 Recorded into the ``serving`` section of ``BENCH_propagate.json``:
-queries-per-second in both regimes, how many maintenance cycles (and
-epoch publishes) overlapped the measured window, and the result-cache hit
-rate under invalidation pressure.
+queries-per-second and exact per-query latency percentiles (p50/p95/p99,
+from the raw samples rather than histogram buckets) in both regimes, how
+many maintenance cycles (and epoch publishes) overlapped the measured
+window, and the result-cache hit rate under invalidation pressure.
+
+``--expose-http PORT`` starts the embedded metrics exporter on the
+under-maintenance server and ``--hold-exporter SECONDS`` keeps it
+scrapeable after the measured window — together they let the CI
+serving-telemetry smoke scrape ``/metrics`` and ``/status`` from a real
+benchmark run.
 
 Run as::
 
@@ -75,16 +82,24 @@ def _hammer(
     queries: Sequence[AggregateQuery],
     threads: int,
     per_thread: int,
-) -> float:
-    """Run the workload from *threads* reader threads; return seconds."""
+) -> tuple[float, list[float]]:
+    """Run the workload from *threads* reader threads.
+
+    Returns ``(wall seconds, per-query latencies in seconds)`` — the raw
+    samples, so percentiles are exact rather than bucket estimates.
+    """
     barrier = threading.Barrier(threads + 1)
     errors: list[BaseException] = []
+    samples: list[list[float]] = [[] for _ in range(threads)]
 
     def reader(seed: int) -> None:
         barrier.wait()
+        mine = samples[seed]
         try:
             for i in range(per_thread):
+                t0 = time.perf_counter()
                 server.answer(queries[(seed + i) % len(queries)])
+                mine.append(time.perf_counter() - t0)
         except BaseException as failure:   # surfaced to the caller
             errors.append(failure)
 
@@ -101,7 +116,28 @@ def _hammer(
     elapsed = time.perf_counter() - start
     if errors:
         raise errors[0]
-    return elapsed
+    return elapsed, [latency for per in samples for latency in per]
+
+
+def latency_percentiles_ms(samples: Sequence[float]) -> dict:
+    """Exact nearest-rank p50/p95/p99 (+max) over raw latency samples,
+    in milliseconds.  Nearest-rank keeps p50 <= p95 <= p99 by construction,
+    which the CI artifact sanity check relies on."""
+    if not samples:
+        return {"p50": None, "p95": None, "p99": None, "max": None}
+    ordered = sorted(samples)
+    n = len(ordered)
+
+    def rank(q: float) -> float:
+        position = max(0, min(n - 1, int(q * n + 0.999999) - 1))
+        return ordered[position]
+
+    return {
+        "p50": round(rank(0.50) * 1e3, 4),
+        "p95": round(rank(0.95) * 1e3, 4),
+        "p99": round(rank(0.99) * 1e3, 4),
+        "max": round(ordered[-1] * 1e3, 4),
+    }
 
 
 def run_serving(
@@ -109,6 +145,8 @@ def run_serving(
     change_size: int = DEFAULT_CHANGE_SIZE,
     threads: int = DEFAULT_THREADS,
     queries_per_thread: int = DEFAULT_QUERIES_PER_THREAD,
+    expose_http: int | None = None,
+    hold_exporter_s: float = 0.0,
 ) -> dict:
     data = generate_retail(RetailConfig(pos_rows=pos_rows))
     warehouse = build_retail_warehouse(data)
@@ -120,7 +158,9 @@ def run_serving(
     with QueryServer(warehouse, max_workers=threads) as server:
         for query in queries:   # warm the plan/cache path once
             server.answer(query)
-        quiesced_s = _hammer(server, queries, threads, queries_per_thread)
+        quiesced_s, quiesced_lat = _hammer(
+            server, queries, threads, queries_per_thread
+        )
 
     # Regime 2: a background maintenance loop runs full versioned cycles
     # (propagate -> shadow refresh -> certificate-validated publish) for
@@ -141,15 +181,25 @@ def run_serving(
         except BaseException as failure:
             maintenance_errors.append(failure)
 
-    with QueryServer(warehouse, max_workers=threads) as server:
+    with QueryServer(
+        warehouse, max_workers=threads, expose_http=expose_http
+    ) as server:
+        if server.exporter is not None:
+            print(f"metrics exporter listening at {server.exporter.url}")
         for query in queries:
             server.answer(query)
         thread = threading.Thread(target=maintainer, daemon=True)
         thread.start()
-        maintained_s = _hammer(server, queries, threads, queries_per_thread)
+        maintained_s, maintained_lat = _hammer(
+            server, queries, threads, queries_per_thread
+        )
         stop.set()
         thread.join()
         hit_rate = server.stats.hit_rate
+        if server.exporter is not None and hold_exporter_s > 0:
+            # Keep /metrics and /status scrapeable for an outside smoke
+            # test after the measured window ends.
+            time.sleep(hold_exporter_s)
     if maintenance_errors:
         raise maintenance_errors[0]
 
@@ -162,6 +212,8 @@ def run_serving(
         "qps_quiesced": round(total_queries / quiesced_s, 1),
         "qps_under_maintenance": round(total_queries / maintained_s, 1),
         "throughput_ratio": round(quiesced_s / maintained_s, 3),
+        "latency_quiesced_ms": latency_percentiles_ms(quiesced_lat),
+        "latency_under_maintenance_ms": latency_percentiles_ms(maintained_lat),
         "maintenance_cycles": cycles,
         "epochs_published": max(view.epoch for view in views),
         "cache_hit_rate": round(hit_rate, 3),
@@ -185,6 +237,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--output", default=None,
         help="JSON path (default: BENCH_propagate.json at the repo root)",
     )
+    parser.add_argument(
+        "--expose-http", type=int, default=None, metavar="PORT",
+        help="serve /metrics, /status, /slow from the under-maintenance "
+             "server on PORT (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--hold-exporter", type=float, default=0.0, metavar="SECONDS",
+        help="keep the exporter scrapeable this long after the measured "
+             "window (for external smoke tests)",
+    )
     args = parser.parse_args(argv)
 
     pos_rows = args.pos_rows or (5_000 if args.quick else DEFAULT_POS_ROWS)
@@ -194,12 +256,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         50 if args.quick else DEFAULT_QUERIES_PER_THREAD
     )
 
-    serving = run_serving(pos_rows, change_size, threads, per_thread)
+    serving = run_serving(
+        pos_rows, change_size, threads, per_thread,
+        expose_http=args.expose_http, hold_exporter_s=args.hold_exporter,
+    )
+    quiesced_lat = serving["latency_quiesced_ms"]
+    maintained_lat = serving["latency_under_maintenance_ms"]
     print(f"serving benchmark ({pos_rows:,} pos rows, "
           f"{threads} reader threads x {per_thread} queries):")
-    print(f"  quiesced:          {serving['qps_quiesced']:>10,.1f} qps")
+    print(f"  quiesced:          {serving['qps_quiesced']:>10,.1f} qps "
+          f"(p50 {quiesced_lat['p50']:.2f}ms / p99 {quiesced_lat['p99']:.2f}ms)")
     print(f"  under maintenance: {serving['qps_under_maintenance']:>10,.1f} qps "
-          f"({serving['maintenance_cycles']} cycles, "
+          f"(p50 {maintained_lat['p50']:.2f}ms / p99 {maintained_lat['p99']:.2f}ms; "
+          f"{serving['maintenance_cycles']} cycles, "
           f"{serving['epochs_published']} epochs published)")
     print(f"  cache hit rate:    {serving['cache_hit_rate']:>10.1%}")
 

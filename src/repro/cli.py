@@ -63,6 +63,16 @@ Commands
     first injects one corruption (``mutate``, ``drop``, ``phantom``,
     ``missed-delta``) for fault-injection smoke tests.  ``--report PATH``
     writes the audit report as JSON.  Exit 1 on any FAIL verdict.
+``serve-metrics``
+    Run a live demo serving deployment: a retail warehouse under
+    continuous query load and versioned maintenance, with the embedded
+    metrics exporter (``/metrics``, ``/status``, ``/slow``) bound to
+    ``--port`` for ``--duration`` seconds.  Point ``repro top`` or a
+    Prometheus scraper at it.
+``top``
+    Poll a running exporter's ``/status`` endpoint (``--url``) and render
+    a live per-view QPS / latency / staleness / cache table, one frame
+    per ``--interval`` seconds (``--frames 0`` = until interrupted).
 """
 
 from __future__ import annotations
@@ -289,7 +299,113 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         forwarded += ["--queries-per-thread", str(args.queries_per_thread)]
     if args.output is not None:
         forwarded += ["--output", args.output]
+    if args.expose_http is not None:
+        forwarded += ["--expose-http", str(args.expose_http)]
+    if args.hold_exporter is not None:
+        forwarded += ["--hold-exporter", str(args.hold_exporter)]
     return bench_main(forwarded)
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    import threading
+
+    from .bench.serve_bench import serving_queries
+    from .lattice import maintain_lattice
+    from .serve import QueryServer
+    from .workload import (
+        RetailConfig,
+        build_retail_warehouse,
+        generate_retail,
+        update_generating_changes,
+    )
+
+    data = generate_retail(RetailConfig(pos_rows=args.pos_rows))
+    warehouse = build_retail_warehouse(data)
+    views = warehouse.views_over("pos")
+    queries = serving_queries(data.pos)
+    stop = threading.Event()
+    failures: list[BaseException] = []
+
+    def loader(seed: int) -> None:
+        i = 0
+        try:
+            while not stop.is_set():
+                server.answer(queries[(seed + i) % len(queries)])
+                i += 1
+                time.sleep(args.query_interval)
+        except BaseException as failure:
+            failures.append(failure)
+
+    def maintainer() -> None:
+        try:
+            while not stop.is_set():
+                changes = update_generating_changes(
+                    data.pos, data.config, args.changes, data.rng
+                )
+                maintain_lattice(views, changes, mode="versioned")
+                stop.wait(args.maintenance_interval)
+        except BaseException as failure:
+            failures.append(failure)
+
+    with QueryServer(
+        warehouse,
+        max_workers=args.threads,
+        staleness_slo_s=args.slo,
+        expose_http=args.port,
+    ) as server:
+        print(f"serving metrics at {server.exporter.url}/metrics")
+        print(f"status JSON at     {server.exporter.url}/status")
+        print(f"slow queries at    {server.exporter.url}/slow")
+        print(f"(running {args.duration:.0f}s of query load + versioned "
+              f"maintenance; try: repro top --url {server.exporter.url})")
+        workers = [
+            threading.Thread(target=loader, args=(seed,), daemon=True)
+            for seed in range(args.threads)
+        ]
+        workers.append(threading.Thread(target=maintainer, daemon=True))
+        for worker in workers:
+            worker.start()
+        try:
+            time.sleep(args.duration)
+        except KeyboardInterrupt:
+            pass
+        stop.set()
+        for worker in workers:
+            worker.join()
+        snapshot = server.stats.snapshot()
+    if failures:
+        raise failures[0]
+    print(f"served {snapshot['queries']:,} queries "
+          f"({snapshot['cache_hits']:,} cache hits); "
+          f"{max(view.epoch for view in views)} epochs published")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from .obs.serving import format_top
+
+    url = args.url.rstrip("/") + "/status"
+    previous = None
+    frame = 0
+    while args.frames <= 0 or frame < args.frames:
+        if frame:
+            time.sleep(args.interval)
+        try:
+            with urlopen(url, timeout=5.0) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except (URLError, OSError, ValueError) as exc:
+            print(f"cannot scrape {url}: {exc}", file=sys.stderr)
+            return 2
+        if frame:
+            print()
+        print(format_top(payload, previous))
+        previous = payload
+        frame += 1
+    return 0
 
 
 def _cmd_bench_propagate(args: argparse.Namespace) -> int:
@@ -776,6 +892,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queries-per-thread", type=int, default=None)
     serve.add_argument("--output", default=None,
                        help="JSON path (default: BENCH_propagate.json)")
+    serve.add_argument("--expose-http", type=int, default=None,
+                       metavar="PORT",
+                       help="serve /metrics from the under-maintenance "
+                            "server on PORT (0 = ephemeral)")
+    serve.add_argument("--hold-exporter", type=float, default=None,
+                       metavar="SECONDS",
+                       help="keep the exporter scrapeable this long after "
+                            "the measured window")
     serve.set_defaults(func=_cmd_bench_serve)
 
     trace = sub.add_parser(
@@ -891,6 +1015,44 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--report", default=None, metavar="PATH",
                        help="write the audit report as JSON")
     audit.set_defaults(func=_cmd_audit)
+
+    serve_metrics = sub.add_parser(
+        "serve-metrics",
+        help="run a demo serving deployment with the live metrics exporter",
+    )
+    serve_metrics.add_argument("--port", type=int, default=9464,
+                               help="exporter port (0 = ephemeral)")
+    serve_metrics.add_argument("--duration", type=float, default=30.0,
+                               help="seconds to keep serving")
+    serve_metrics.add_argument("--pos-rows", type=int, default=5_000)
+    serve_metrics.add_argument("--changes", type=int, default=500,
+                               help="change-batch size per maintenance cycle")
+    serve_metrics.add_argument("--threads", type=int, default=2,
+                               help="query loader threads")
+    serve_metrics.add_argument("--slo", type=float, default=None,
+                               metavar="SECONDS",
+                               help="staleness SLO (default: "
+                                    "$REPRO_STALENESS_SLO_S)")
+    serve_metrics.add_argument("--query-interval", type=float, default=0.01,
+                               metavar="SECONDS",
+                               help="pause between queries per loader thread")
+    serve_metrics.add_argument("--maintenance-interval", type=float,
+                               default=2.0, metavar="SECONDS",
+                               help="pause between versioned maintenance "
+                                    "cycles")
+    serve_metrics.set_defaults(func=_cmd_serve_metrics)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-view QPS/latency/staleness table from an exporter",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:9464",
+                     help="exporter base URL (see serve-metrics)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between frames")
+    top.add_argument("--frames", type=int, default=0,
+                     help="frames to render (0 = until interrupted)")
+    top.set_defaults(func=_cmd_top)
 
     return parser
 

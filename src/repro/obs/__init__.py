@@ -21,7 +21,7 @@ Quick use::
     print(format_span_tree(recorder.root))
 """
 
-from . import audit, export, ledger, metrics, tracing
+from . import audit, export, ledger, metrics, serving, tracing
 from .audit import (
     IntegrityEvent,
     ViewCertificate,
@@ -48,6 +48,8 @@ from .ledger import (
     suspended_ledger,
 )
 from .metrics import (
+    BUCKET_BOUNDS,
+    LATENCY_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
@@ -55,6 +57,19 @@ from .metrics import (
     metric_key,
     registry,
     set_registry,
+)
+from .serving import (
+    STALENESS_SLO_ENV_VAR,
+    MetricsExporter,
+    SlowQuerySample,
+    SlowQuerySampler,
+    current_request_id,
+    export_serving_gauges,
+    format_top,
+    next_request_id,
+    request_scope,
+    resolve_staleness_slo,
+    status_payload,
 )
 from .tracing import (
     NOOP_SPAN,
@@ -71,16 +86,22 @@ from .tracing import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
+    "LATENCY_BUCKETS_S",
     "NOOP_SPAN",
+    "STALENESS_SLO_ENV_VAR",
     "Counter",
     "Gauge",
     "Histogram",
     "IntegrityEvent",
+    "MetricsExporter",
     "MetricsRegistry",
     "NullRecorder",
     "RegressionFinding",
     "RegressionReport",
     "RunLedger",
+    "SlowQuerySample",
+    "SlowQuerySampler",
     "Span",
     "TraceRecorder",
     "ViewCertificate",
@@ -88,21 +109,28 @@ __all__ = [
     "active_ledger",
     "active_recorder",
     "certificates_enabled",
+    "current_request_id",
     "current_span",
     "detect_regression",
     "enabled",
+    "export_serving_gauges",
     "format_span_tree",
+    "format_top",
     "install_recorder",
     "metric_key",
+    "next_request_id",
     "prometheus_text",
     "record_events",
     "registry",
+    "request_scope",
+    "resolve_staleness_slo",
     "row_digest",
     "rows_certificate",
     "set_ledger",
     "set_registry",
     "span",
     "span_to_dict",
+    "status_payload",
     "suspended_ledger",
     "trace",
     "trace_kill_switch",

@@ -22,6 +22,7 @@ from typing import Any
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "LATENCY_BUCKETS_S",
     "Counter",
     "Gauge",
     "Histogram",
@@ -90,26 +91,48 @@ _BUCKET_BOUNDS = tuple(4 ** k for k in range(12))
 #: Public view of the histogram bucket upper bounds (exporters need them).
 BUCKET_BOUNDS = _BUCKET_BOUNDS
 
+#: Bucket upper bounds for query-latency histograms, in *seconds*.  The
+#: default power-of-four buckets start at 1, which collapses every
+#: sub-second query into one bucket; these follow the conventional
+#: Prometheus latency ladder from 100µs to 10s instead.
+LATENCY_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
 
 class Histogram:
     """A fixed-bucket histogram with count/sum/min/max.
 
-    Buckets are cumulative-style upper bounds (``value <= bound``) over
-    powers of four, plus an overflow bucket; enough resolution to see
-    whether chunk sizes are balanced or queue waits are bimodal without
-    configuring anything.
+    Buckets are cumulative-style upper bounds (``value <= bound``), by
+    default powers of four plus an overflow bucket — enough resolution to
+    see whether chunk sizes are balanced or queue waits are bimodal
+    without configuring anything.  Callers measuring sub-second latencies
+    pass explicit *bounds* (e.g. :data:`LATENCY_BUCKETS_S`).
     """
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
+    __slots__ = (
+        "name", "labels", "count", "total", "min", "max", "buckets",
+        "bounds",
+    )
 
-    def __init__(self, name: str, labels: dict[str, Any] | None = None):
+    def __init__(self, name: str, labels: dict[str, Any] | None = None,
+                 bounds: tuple[float, ...] | None = None):
         self.name = name
         self.labels: dict[str, Any] | None = dict(labels) if labels else None
+        self.bounds: tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else _BUCKET_BOUNDS
+        )
+        if any(b >= a for b, a in zip(self.bounds, self.bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r}: bucket bounds must be strictly "
+                f"increasing, got {self.bounds}"
+            )
         self.count = 0
         self.total: float = 0.0
         self.min: float | None = None
         self.max: float | None = None
-        self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.buckets = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: int | float) -> None:
         self.count += 1
@@ -118,7 +141,7 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        for position, bound in enumerate(_BUCKET_BOUNDS):
+        for position, bound in enumerate(self.bounds):
             if value <= bound:
                 self.buckets[position] += 1
                 return
@@ -133,11 +156,38 @@ class Histogram:
         observations <= upper_bound)``, ending with ``(inf, count)``."""
         out: list[tuple[float, int]] = []
         running = 0
-        for bound, in_bucket in zip(_BUCKET_BOUNDS, self.buckets):
+        for bound, in_bucket in zip(self.bounds, self.buckets):
             running += in_bucket
             out.append((float(bound), running))
         out.append((float("inf"), self.count))
         return out
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the *q*-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the bucket that holds the target
+        rank, clamped by the observed ``min``/``max`` so the estimate
+        never leaves the observed range.  ``None`` before the first
+        observation.  Exact-from-samples percentiles belong to callers
+        that kept the samples; this is the scrape-time estimate.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        rank = q * self.count
+        running = 0
+        lower = self.min if self.min is not None else 0.0
+        for bound, in_bucket in zip(self.bounds, self.buckets):
+            if not in_bucket:
+                continue
+            if running + in_bucket >= rank:
+                upper = min(bound, self.max if self.max is not None else bound)
+                fraction = (rank - running) / in_bucket
+                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+            running += in_bucket
+            lower = max(lower, bound)
+        return self.max
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -177,12 +227,17 @@ class MetricsRegistry:
             return metric
 
     def histogram(self, name: str,
-                  labels: dict[str, Any] | None = None) -> Histogram:
+                  labels: dict[str, Any] | None = None,
+                  bounds: tuple[float, ...] | None = None) -> Histogram:
+        """The named histogram; *bounds* applies only on first creation
+        (the live metric keeps the bounds it was born with)."""
         key = metric_key(name, labels)
         with self._lock:
             metric = self._histograms.get(key)
             if metric is None:
-                metric = self._histograms[key] = Histogram(name, labels)
+                metric = self._histograms[key] = Histogram(
+                    name, labels, bounds=bounds
+                )
             return metric
 
     def all_metrics(self) -> tuple[list[Counter], list[Gauge], list[Histogram]]:

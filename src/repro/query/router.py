@@ -25,6 +25,8 @@ from typing import Iterable
 from ..aggregates.base import AggregateFunction
 from ..errors import DefinitionError
 from ..lattice.derives import EdgeQuery, try_derive
+from ..obs import tracing
+from ..obs.serving import current_request_id
 from ..relational.schema import Schema
 from ..relational.table import Table
 from ..views.definition import SummaryViewDefinition
@@ -142,37 +144,49 @@ class QueryRouter:
         The chosen view's current version is pinned into the plan
         (:attr:`QueryPlan.source_table` / :attr:`QueryPlan.source_epoch`),
         so evaluating the plan reads one consistent snapshot no matter how
-        many versioned refreshes publish in between."""
-        resolved = query.definition.resolved()
-        best: tuple[int, MaterializedView, EdgeQuery, "Table"] | None = None
-        for view in self.warehouse.views.values():
-            if view.definition.fact is not query.definition.fact:
-                continue
-            edge = try_derive(resolved, view.definition)
-            if edge is None:
-                continue
-            # Pin the candidate's version once; costing and (if chosen)
-            # evaluation both use this exact table reference.
-            version = view.pin()
-            cost = len(version.table)
-            if best is None or cost < best[0]:
-                best = (cost, view, edge, version)
-        if best is None:
+        many versioned refreshes publish in between.
+
+        The routing decision records a ``query.plan`` span tagged with
+        the serving request id when one is in scope
+        (:func:`repro.obs.serving.current_request_id`), so a request's
+        spans can be reassembled across the server's pool threads."""
+        with tracing.span(
+            "query.plan", fact=query.definition.fact.name,
+            request=current_request_id(),
+        ) as span:
+            resolved = query.definition.resolved()
+            best: tuple[int, MaterializedView, EdgeQuery, "Table"] | None = None
+            for view in self.warehouse.views.values():
+                if view.definition.fact is not query.definition.fact:
+                    continue
+                edge = try_derive(resolved, view.definition)
+                if edge is None:
+                    continue
+                # Pin the candidate's version once; costing and (if chosen)
+                # evaluation both use this exact table reference.
+                version = view.pin()
+                cost = len(version.table)
+                if best is None or cost < best[0]:
+                    best = (cost, view, edge, version)
+            if best is None:
+                span.set_tag("source", "base")
+                return QueryPlan(
+                    query=query,
+                    source_view=None,
+                    edge=None,
+                    input_rows=len(query.definition.fact.table),
+                )
+            cost, view, edge, version = best
+            span.set_tag("source", view.name)
+            span.set_tag("epoch", version.epoch)
             return QueryPlan(
                 query=query,
-                source_view=None,
-                edge=None,
-                input_rows=len(query.definition.fact.table),
+                source_view=view,
+                edge=edge,
+                input_rows=cost,
+                source_table=version.table,
+                source_epoch=version.epoch,
             )
-        cost, view, edge, version = best
-        return QueryPlan(
-            query=query,
-            source_view=view,
-            edge=edge,
-            input_rows=cost,
-            source_table=version.table,
-            source_epoch=version.epoch,
-        )
 
     def answer(
         self,
@@ -202,23 +216,31 @@ class QueryRouter:
         (or mutates in place) while the evaluation scans.
         """
         query = plan.query
-        resolved = query.definition.resolved()
-        if plan.source_view is None:
-            full = compute_rows(resolved, name="__query__")
-        else:
-            source = plan.source_view
-            table = plan.source_table
-            if table is None:   # plan built by hand without a pin
-                table = source.pin().table
-            if pending_deltas and source.name in pending_deltas:
-                from ..core.compensation import read_through_delta
+        source_name = (
+            plan.source_view.name if plan.source_view is not None else "base"
+        )
+        with tracing.span(
+            "query.eval", source=source_name, epoch=plan.source_epoch,
+            request=current_request_id(),
+        ) as span:
+            span.set_tag("input_rows", plan.input_rows)
+            resolved = query.definition.resolved()
+            if plan.source_view is None:
+                full = compute_rows(resolved, name="__query__")
+            else:
+                source = plan.source_view
+                table = plan.source_table
+                if table is None:   # plan built by hand without a pin
+                    table = source.pin().table
+                if pending_deltas and source.name in pending_deltas:
+                    from ..core.compensation import read_through_delta
 
-                snapshot = read_through_delta(
-                    source, pending_deltas[source.name], table=table
-                )
-                table = snapshot.table
-            full = plan.edge.apply(table, name="__query__")
-        return _project_user_columns(full, resolved, query)
+                    snapshot = read_through_delta(
+                        source, pending_deltas[source.name], table=table
+                    )
+                    table = snapshot.table
+                full = plan.edge.apply(table, name="__query__")
+            return _project_user_columns(full, resolved, query)
 
     def explain(self, query: AggregateQuery) -> str:
         """Human-readable routing decision."""

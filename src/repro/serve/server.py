@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..obs import metrics as obs_metrics
+from ..obs import serving as obs_serving
 from ..obs import tracing
 from ..query.router import AggregateQuery, QueryRouter
 from ..relational.table import Table
@@ -163,6 +164,19 @@ class QueryServer:
     block) shuts the pool down.  ``answer`` runs in the calling thread —
     it is what pool workers execute — so the server composes with
     callers that bring their own threads (the concurrency battery does).
+
+    Telemetry (see :mod:`repro.obs.serving`): every query carries a
+    process-unique request id that the router's plan/eval spans tag
+    themselves with; latency, cache outcome, and source-view counters
+    land in the metrics registry *unconditionally* — ``REPRO_TRACE``
+    gates span emission only — and the slowest queries are retained in
+    :attr:`slow_queries`.  A *staleness_slo_s* (or the
+    ``REPRO_STALENESS_SLO_S`` environment default) counts
+    ``serve.slo_violations`` whenever a query is answered from a view
+    staler than the SLO.  ``expose_http`` embeds a
+    :class:`~repro.obs.serving.MetricsExporter` serving ``/metrics``,
+    ``/status``, and ``/slow`` for the server's lifetime (``True`` binds
+    an ephemeral port; an integer binds that port).
     """
 
     def __init__(
@@ -170,14 +184,32 @@ class QueryServer:
         warehouse: Warehouse,
         max_workers: int = 4,
         cache_capacity: int = 128,
+        staleness_slo_s: float | None = None,
+        slow_query_capacity: int = 32,
+        expose_http: bool | int | None = None,
     ):
         self.warehouse = warehouse
         self.router = QueryRouter(warehouse)
         self.cache = QueryResultCache(cache_capacity)
         self.stats = ServeStats()
+        self.staleness_slo_s = obs_serving.resolve_staleness_slo(
+            staleness_slo_s
+        )
+        self.slow_queries = obs_serving.SlowQuerySampler(slow_query_capacity)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
+        self.exporter: obs_serving.MetricsExporter | None = None
+        # Identity checks, not ``in (None, False)``: port 0 (== False)
+        # legitimately requests an ephemeral port.
+        if expose_http is not None and expose_http is not False:
+            port = 0 if expose_http is True else int(expose_http)
+            self.exporter = obs_serving.MetricsExporter(
+                warehouse=warehouse,
+                sampler=self.slow_queries,
+                server=self,
+                port=port,
+            ).start()
 
     def __enter__(self) -> "QueryServer":
         return self
@@ -187,42 +219,69 @@ class QueryServer:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        if self.exporter is not None:
+            self.exporter.close()
+            self.exporter = None
 
-    def answer(self, query: AggregateQuery, use_cache: bool = True) -> Table:
-        """Plan, consult the cache, and evaluate against a pinned epoch."""
+    def answer(
+        self,
+        query: AggregateQuery,
+        use_cache: bool = True,
+        request_id: int | None = None,
+    ) -> Table:
+        """Plan, consult the cache, and evaluate against a pinned epoch.
+
+        *request_id* is normally assigned here; :meth:`submit` allocates
+        it at submission time instead, so a trace ties the pool thread's
+        work back to the submitting caller.
+        """
         start = time.perf_counter()
-        with tracing.span("serve.query", fact=query.definition.fact.name) as span:
-            plan = self.router.plan(query)
-            source = plan.source_view
-            span.set_tag("source", source.name if source else "base")
-            cacheable = use_cache and plan.uses_summary_table
-            key: tuple | None = None
-            stamp: CacheStamp | None = None
-            if cacheable:
-                key = query_fingerprint(query)
-                stamp = (
-                    source.name,
-                    plan.source_epoch,
-                    source.freshness.refresh_count,
+        if request_id is None:
+            request_id = obs_serving.next_request_id()
+        with obs_serving.request_scope(request_id):
+            with tracing.span(
+                "serve.query", fact=query.definition.fact.name,
+                request=request_id,
+            ) as span:
+                plan = self.router.plan(query)
+                source = plan.source_view
+                span.set_tag("source", source.name if source else "base")
+                cacheable = use_cache and plan.uses_summary_table
+                key: tuple | None = None
+                stamp: CacheStamp | None = None
+                if cacheable:
+                    key = query_fingerprint(query)
+                    stamp = (
+                        source.name,
+                        plan.source_epoch,
+                        source.freshness.refresh_count,
+                    )
+                    cached = self.cache.get(key, stamp)
+                    if cached is not None:
+                        span.set_tag("cache", "hit")
+                        self.stats.note(hit=True, base_fallback=False)
+                        self._record(start, "hit", plan, request_id)
+                        return cached
+                result = self.router.answer_plan(plan)
+                if cacheable:
+                    self.cache.put(key, stamp, result)
+                cache_state = "miss" if cacheable else "bypass"
+                span.set_tag("cache", cache_state)
+                self.stats.note(
+                    hit=False if cacheable else None,
+                    base_fallback=source is None,
                 )
-                cached = self.cache.get(key, stamp)
-                if cached is not None:
-                    span.set_tag("cache", "hit")
-                    self.stats.note(hit=True, base_fallback=False)
-                    self._record(start, hit=True, base_fallback=False)
-                    return cached
-            result = self.router.answer_plan(plan)
-            if cacheable:
-                self.cache.put(key, stamp, result)
-            span.set_tag("cache", "miss" if cacheable else "bypass")
-            hit = False if cacheable else None
-            self.stats.note(hit=hit, base_fallback=source is None)
-            self._record(start, hit=hit, base_fallback=source is None)
-            return result
+                self._record(start, cache_state, plan, request_id)
+                return result
 
     def submit(self, query: AggregateQuery, use_cache: bool = True) -> Future:
-        """Schedule one query on the pool; returns its future."""
-        return self._pool.submit(self.answer, query, use_cache)
+        """Schedule one query on the pool; returns its future.
+
+        The request id is allocated *now*, in submission order, and
+        travels with the query onto whichever pool thread evaluates it.
+        """
+        request_id = obs_serving.next_request_id()
+        return self._pool.submit(self.answer, query, use_cache, request_id)
 
     def answer_many(
         self, queries: Sequence[AggregateQuery] | Iterable[AggregateQuery],
@@ -233,18 +292,52 @@ class QueryServer:
         return [future.result() for future in futures]
 
     def _record(
-        self, start: float, hit: bool | None, base_fallback: bool
+        self, start: float, cache_state: str, plan, request_id: int
     ) -> None:
-        if not tracing.enabled():
-            return
+        """Record one answered query into the registry and the sampler.
+
+        Unconditional by design: the metrics registry is always live, and
+        a serving dashboard must not go dark because span recording
+        (``REPRO_TRACE``) is off.  Only span emission follows the trace
+        switch.
+        """
+        seconds = time.perf_counter() - start
+        source = plan.source_view
+        source_name = source.name if source is not None else "base"
         registry = obs_metrics.registry()
         registry.counter("serve.queries").inc()
-        if hit is True:
+        registry.counter(
+            "serve.queries_by_source", labels={"source": source_name}
+        ).inc()
+        if cache_state == "hit":
             registry.counter("serve.cache_hits").inc()
-        elif hit is False:
+        elif cache_state == "miss":
             registry.counter("serve.cache_misses").inc()
-        if base_fallback:
+        if source is None:
             registry.counter("serve.base_fallbacks").inc()
-        registry.histogram("serve.latency_s").observe(
-            time.perf_counter() - start
-        )
+        registry.histogram(
+            "serve.latency_s", bounds=obs_metrics.LATENCY_BUCKETS_S
+        ).observe(seconds)
+        if source is not None:
+            staleness = source.freshness.staleness_seconds()
+            registry.gauge(
+                "serve.staleness_seconds", labels={"view": source_name}
+            ).set(round(staleness, 6))
+            if (
+                self.staleness_slo_s is not None
+                and staleness > self.staleness_slo_s
+            ):
+                registry.counter("serve.slo_violations").inc()
+                registry.counter(
+                    "serve.slo_violations_by_view",
+                    labels={"view": source_name},
+                ).inc()
+        self.slow_queries.record(obs_serving.SlowQuerySample(
+            seconds=seconds,
+            request_id=request_id,
+            fact=plan.query.definition.fact.name,
+            source=source_name,
+            epoch=plan.source_epoch,
+            cache=cache_state,
+            ts=time.time(),
+        ))

@@ -6,6 +6,7 @@ from .definition import (
     SummaryViewDefinition,
 )
 from .materialize import (
+    EpochStats,
     MaterializedView,
     ShadowVersion,
     ViewVersion,
@@ -21,6 +22,7 @@ from .sql import (
 __all__ = [
     "AggregateOutput",
     "DerivedOutput",
+    "EpochStats",
     "MaterializedView",
     "ShadowVersion",
     "SummaryViewDefinition",

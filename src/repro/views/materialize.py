@@ -14,10 +14,12 @@ evaluate derived (``AVG``) outputs.
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
 from typing import Any
 
 from ..errors import DefinitionError, PublishError
+from ..obs import metrics as obs_metrics
 from ..obs.audit import (
     ViewCertificate,
     ViewFreshness,
@@ -53,6 +55,32 @@ def compute_rows(definition: SummaryViewDefinition, name: str | None = None) -> 
     return physical_group_by(
         source, definition.group_by, aggregates, name=name or definition.name
     )
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """One view's epoch lifecycle, as of one collection pass.
+
+    ``retained`` counts *superseded* epochs some reader still keeps alive
+    (the current epoch is always alive by construction and is not
+    counted); ``collected`` is the cumulative number of superseded epochs
+    whose storage has been freed; ``watermark`` is the oldest epoch still
+    reachable — the current epoch when no old reader survives, which is
+    the healthy steady state.
+    """
+
+    current: int
+    retained: int
+    collected: int
+    watermark: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "current": self.current,
+            "retained": self.retained,
+            "collected": self.collected,
+            "watermark": self.watermark,
+        }
 
 
 @dataclass(frozen=True)
@@ -148,6 +176,14 @@ class MaterializedView:
         self._publish_lock = threading.Lock()
         #: Per-view freshness (last refresh time / run id / kind).
         self.freshness = ViewFreshness()
+        #: Epoch retention tracking: weak references to the *tables* of
+        #: superseded epochs (the table is what a pinned plan actually
+        #: holds onto, so its liveness is the retention signal), plus the
+        #: cumulative count of epochs already freed.  Guarded by its own
+        #: lock — collection must not contend with publishers.
+        self._superseded: dict[int, weakref.ref] = {}
+        self._collected_epochs = 0
+        self._epoch_lock = threading.Lock()
 
     def __repr__(self) -> str:
         return f"MaterializedView({self.definition.name!r}, {len(self.table)} rows)"
@@ -233,7 +269,63 @@ class MaterializedView:
                     )
             version = ViewVersion(shadow.epoch, shadow.table, shadow.certificate)
             self._version = version
-            return version
+            with self._epoch_lock:
+                self._superseded[current.epoch] = weakref.ref(current.table)
+        # Outside the publish lock: prune epochs no reader kept alive and
+        # refresh the retention gauges (serving telemetry records
+        # unconditionally — see repro.obs.serving).
+        self.collect_epochs()
+        return version
+
+    def collect_epochs(self, metrics=None) -> EpochStats:
+        """Drop tracking for superseded epochs no reader keeps alive and
+        publish the retention gauges; returns the resulting stats.
+
+        The interpreter's garbage collector is the version store, so
+        "collecting" an epoch means noticing its table became
+        unreachable: the weak reference registered at publish time has
+        died.  Runs after every publish and on every ``/metrics`` scrape;
+        cost is O(retained epochs), which the collection itself keeps
+        bounded.
+        """
+        with self._epoch_lock:
+            dead = [
+                epoch for epoch, ref in self._superseded.items()
+                if ref() is None
+            ]
+            for epoch in dead:
+                del self._superseded[epoch]
+            self._collected_epochs += len(dead)
+            stats = EpochStats(
+                current=self._version.epoch,
+                retained=len(self._superseded),
+                collected=self._collected_epochs,
+                watermark=min(
+                    self._superseded, default=self._version.epoch
+                ),
+            )
+        registry = metrics if metrics is not None else obs_metrics.registry()
+        labels = {"view": self.name}
+        registry.gauge("epochs.published", labels=labels).set(stats.current)
+        registry.gauge("epochs.retained", labels=labels).set(stats.retained)
+        registry.gauge("epochs.collected", labels=labels).set(stats.collected)
+        registry.gauge("epochs.watermark", labels=labels).set(stats.watermark)
+        return stats
+
+    def epoch_stats(self) -> EpochStats:
+        """The epoch lifecycle counts without touching the gauges (and
+        without collecting — a pure read of the current tracking state)."""
+        with self._epoch_lock:
+            alive = [
+                epoch for epoch, ref in self._superseded.items()
+                if ref() is not None
+            ]
+            return EpochStats(
+                current=self._version.epoch,
+                retained=len(alive),
+                collected=self._collected_epochs,
+                watermark=min(alive, default=self._version.epoch),
+            )
 
     def group_key_index(self):
         """The index on the group-by columns (``None`` for global views)."""

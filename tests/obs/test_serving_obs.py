@@ -1,0 +1,324 @@
+"""Unit battery for :mod:`repro.obs.serving` and its metrics plumbing:
+request-id scopes, deterministic slow-query sampling under concurrency,
+SLO resolution, custom histogram bounds/quantiles, Prometheus rendering
+of the new labelled families, and the exporter endpoints."""
+
+import json
+import random
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import prometheus_text
+from repro.obs.metrics import LATENCY_BUCKETS_S, Histogram, MetricsRegistry
+from repro.obs.serving import (
+    MetricsExporter,
+    SlowQuerySample,
+    SlowQuerySampler,
+    current_request_id,
+    format_top,
+    next_request_id,
+    request_scope,
+    resolve_staleness_slo,
+)
+
+
+def make_sample(seconds: float, request_id: int) -> SlowQuerySample:
+    return SlowQuerySample(
+        seconds=seconds, request_id=request_id, fact="pos",
+        source="sR_sales", epoch=0, cache="miss", ts=0.0,
+    )
+
+
+class TestRequestIds:
+    def test_monotonic_and_unique_across_threads(self):
+        seen: list[int] = []
+        lock = threading.Lock()
+
+        def claim():
+            mine = [next_request_id() for _ in range(200)]
+            with lock:
+                seen.extend(mine)
+
+        workers = [threading.Thread(target=claim) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(seen) == len(set(seen)), "request ids must never collide"
+
+    def test_scope_installs_and_restores(self):
+        assert current_request_id() is None
+        with request_scope(41) as rid:
+            assert rid == 41
+            assert current_request_id() == 41
+            with request_scope(42):
+                assert current_request_id() == 42
+            assert current_request_id() == 41, "scopes must nest"
+        assert current_request_id() is None
+
+    def test_scope_is_thread_local(self):
+        observed: list[int | None] = []
+        with request_scope(7):
+            worker = threading.Thread(
+                target=lambda: observed.append(current_request_id())
+            )
+            worker.start()
+            worker.join()
+        assert observed == [None], (
+            "a request id must not leak into other threads"
+        )
+
+
+class TestSlowQuerySampler:
+    def test_keeps_exactly_the_top_k(self):
+        sampler = SlowQuerySampler(capacity=4)
+        for rid in range(20):
+            sampler.record(make_sample(seconds=rid / 1000.0, request_id=rid))
+        kept = [sample.request_id for sample in sampler.samples()]
+        assert kept == [19, 18, 17, 16]
+        assert sampler.recorded == 20
+        assert len(sampler) == 4
+
+    def test_surviving_set_is_order_independent(self):
+        base = [make_sample(i / 997.0, request_id=i) for i in range(100)]
+        shuffled = list(base)
+        random.Random(5).shuffle(shuffled)
+        a, b = SlowQuerySampler(8), SlowQuerySampler(8)
+        for sample in base:
+            a.record(sample)
+        for sample in shuffled:
+            b.record(sample)
+        assert a.samples() == b.samples()
+
+    def test_deterministic_under_concurrent_recording(self):
+        samples = [make_sample(i / 1009.0, request_id=i) for i in range(400)]
+        expected = sorted(samples, reverse=True)[:16]
+
+        def run_once(seed: int) -> list[SlowQuerySample]:
+            sampler = SlowQuerySampler(16)
+            shards = [samples[k::4] for k in range(4)]
+            for shard in shards:
+                random.Random(seed).shuffle(shard)
+            workers = [
+                threading.Thread(
+                    target=lambda s=shard: [sampler.record(x) for x in s]
+                )
+                for shard in shards
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            return sampler.samples()
+
+        assert run_once(1) == expected
+        assert run_once(2) == expected, (
+            "the retained top-k must not depend on thread interleaving"
+        )
+
+    def test_ties_on_latency_break_by_request_id(self):
+        sampler = SlowQuerySampler(2)
+        for rid in (3, 1, 2):
+            sampler.record(make_sample(0.5, request_id=rid))
+        assert [s.request_id for s in sampler.samples()] == [3, 2]
+
+    def test_capacity_validation_and_clear(self):
+        with pytest.raises(ValueError):
+            SlowQuerySampler(0)
+        sampler = SlowQuerySampler(2)
+        sampler.record(make_sample(0.1, 1))
+        sampler.clear()
+        assert len(sampler) == 0
+        assert sampler.recorded == 0
+
+    def test_write_jsonl(self, tmp_path):
+        sampler = SlowQuerySampler(4)
+        for rid in range(3):
+            sampler.record(make_sample(rid / 10.0, request_id=rid))
+        path = tmp_path / "slow.jsonl"
+        sampler.write_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line)["request_id"] for line in lines] == [2, 1, 0]
+
+
+class TestStalenessSlo:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STALENESS_SLO_S", "60")
+        assert resolve_staleness_slo(5.0) == 5.0
+
+    def test_environment_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STALENESS_SLO_S", "12.5")
+        assert resolve_staleness_slo() == 12.5
+
+    def test_unset_means_no_slo(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STALENESS_SLO_S", raising=False)
+        assert resolve_staleness_slo() is None
+
+    def test_negative_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_staleness_slo(-1.0)
+        monkeypatch.setenv("REPRO_STALENESS_SLO_S", "-3")
+        with pytest.raises(ValueError):
+            resolve_staleness_slo()
+
+
+class TestLatencyHistogram:
+    def test_custom_bounds_are_kept_and_validated(self):
+        histogram = Histogram("serve.latency_s", bounds=LATENCY_BUCKETS_S)
+        assert histogram.bounds == LATENCY_BUCKETS_S
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1.0, 1.0))
+
+    def test_registry_applies_bounds_on_first_creation_only(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", bounds=(0.5, 1.0))
+        again = registry.histogram("h", bounds=(9.0,))
+        assert again is first
+        assert again.bounds == (0.5, 1.0)
+
+    def test_sub_second_observations_spread_across_buckets(self):
+        histogram = Histogram("lat", bounds=LATENCY_BUCKETS_S)
+        for value in (0.0002, 0.003, 0.04, 0.7):
+            histogram.observe(value)
+        populated = sum(1 for count in histogram.buckets if count)
+        assert populated == 4, (
+            "the latency ladder must separate sub-second observations"
+        )
+
+    def test_quantiles_are_monotone_and_clamped(self):
+        histogram = Histogram("lat", bounds=LATENCY_BUCKETS_S)
+        values = [0.0003, 0.0008, 0.002, 0.004, 0.02, 0.03, 0.2, 0.4]
+        for value in values:
+            histogram.observe(value)
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert min(values) <= p50 <= p95 <= p99 <= max(values)
+        assert histogram.quantile(0.0) == pytest.approx(min(values))
+        assert histogram.quantile(1.0) == pytest.approx(max(values))
+
+    def test_quantile_edge_cases(self):
+        histogram = Histogram("lat")
+        assert histogram.quantile(0.5) is None
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+class TestPrometheusRendering:
+    def test_labelled_serving_families_render_one_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.queries_by_source",
+                         labels={"source": "sR_sales"}).inc(3)
+        registry.counter("serve.queries_by_source",
+                         labels={"source": "base"}).inc(1)
+        registry.gauge("epochs.watermark", labels={"view": "sR_sales"}).set(4)
+        text = prometheus_text(registry)
+        assert text.count("# TYPE repro_serve_queries_by_source counter") == 1
+        assert 'repro_serve_queries_by_source{source="sR_sales"} 3' in text
+        assert 'repro_serve_queries_by_source{source="base"} 1' in text
+        assert 'repro_epochs_watermark{view="sR_sales"} 4' in text
+
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        registry = MetricsRegistry()
+        registry.gauge(
+            "serve.staleness_seconds",
+            labels={"view": 'we"ird\\name\nline'},
+        ).set(1)
+        text = prometheus_text(registry)
+        assert r'view="we\"ird\\name\nline"' in text
+
+    def test_custom_bound_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "serve.latency_s", bounds=(0.001, 0.01, 0.1)
+        )
+        for value in (0.0005, 0.005, 0.05, 5.0):
+            histogram.observe(value)
+        text = prometheus_text(registry)
+        assert 'repro_serve_latency_s_bucket{le="0.001"} 1' in text
+        assert 'repro_serve_latency_s_bucket{le="0.01"} 2' in text
+        assert 'repro_serve_latency_s_bucket{le="0.1"} 3' in text
+        assert 'repro_serve_latency_s_bucket{le="+Inf"} 4' in text
+        assert "repro_serve_latency_s_count 4" in text
+
+
+class TestMetricsExporter:
+    def test_endpoints_without_a_warehouse(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.queries").inc(7)
+        sampler = SlowQuerySampler(4)
+        sampler.record(make_sample(0.25, request_id=9))
+        with MetricsExporter(sampler=sampler, metrics=registry) as exporter:
+            base = exporter.url
+            with urllib.request.urlopen(base + "/metrics") as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                assert b"repro_serve_queries 7" in response.read()
+            with urllib.request.urlopen(base + "/status") as response:
+                payload = json.loads(response.read())
+                assert payload["metrics"]["counters"]["serve.queries"] == 7
+            with urllib.request.urlopen(base + "/slow") as response:
+                slow = json.loads(response.read())
+                assert [s["request_id"] for s in slow] == [9]
+
+    def test_unknown_endpoint_is_404(self):
+        with MetricsExporter(metrics=MetricsRegistry()) as exporter:
+            with pytest.raises(urllib.error.HTTPError) as failure:
+                urllib.request.urlopen(exporter.url + "/nope")
+            assert failure.value.code == 404
+
+    def test_port_property_requires_running(self):
+        exporter = MetricsExporter(metrics=MetricsRegistry())
+        with pytest.raises(RuntimeError):
+            exporter.port
+        exporter.close()   # idempotent no-op when never started
+
+    def test_start_is_idempotent(self):
+        with MetricsExporter(metrics=MetricsRegistry()) as exporter:
+            port = exporter.port
+            assert exporter.start() is exporter
+            assert exporter.port == port
+
+
+class TestFormatTop:
+    def payload(self, ts, queries, view_queries):
+        return {
+            "ts": ts,
+            "serving": {
+                "queries": queries,
+                "cache_hits": queries // 2,
+                "cache_misses": queries - queries // 2,
+                "base_fallbacks": 0,
+                "slo_violations": 2,
+                "latency": {
+                    "count": queries, "p50_s": 0.001, "p95_s": 0.005,
+                    "p99_s": 0.02, "max_s": 0.5,
+                },
+            },
+            "views": {
+                "sR_sales": {
+                    "fact": "pos", "rows": 5, "epoch": 3,
+                    "epochs_retained": 1, "epochs_collected": 2,
+                    "epoch_watermark": 2, "staleness_seconds": 1.25,
+                    "pending_rows": 40, "refresh_count": 3,
+                    "queries": view_queries,
+                },
+            },
+        }
+
+    def test_first_frame_has_no_rates(self):
+        frame = format_top(self.payload(100.0, 50, 20))
+        assert "queries" in frame and "sR_sales" in frame
+        assert "p50 1.00" in frame
+        assert "slo_viol 2" in frame
+
+    def test_rates_from_counter_deltas(self):
+        before = self.payload(100.0, 50, 20)
+        after = self.payload(102.0, 150, 80)
+        frame = format_top(after, before)
+        assert "qps       50" in frame     # (150 - 50) / 2s
+        assert frame.rstrip().endswith("30")   # (80 - 20) / 2s per view

@@ -227,3 +227,31 @@ class TestMeasurePoint:
         assert result.maintenance_s == pytest.approx(
             result.propagate_lattice_s + result.refresh_s
         )
+
+
+class TestLatencyPercentiles:
+    def test_exact_on_known_samples(self):
+        from repro.bench.serve_bench import latency_percentiles_ms
+
+        samples = [i / 1000.0 for i in range(1, 101)]   # 1ms .. 100ms
+        stats = latency_percentiles_ms(samples)
+        assert stats["p50"] == pytest.approx(50.0)
+        assert stats["p95"] == pytest.approx(95.0)
+        assert stats["p99"] == pytest.approx(99.0)
+        assert stats["max"] == pytest.approx(100.0)
+
+    def test_monotone_regardless_of_order(self):
+        import random
+
+        from repro.bench.serve_bench import latency_percentiles_ms
+
+        samples = [random.Random(17).uniform(0.0001, 0.5) for _ in range(37)]
+        stats = latency_percentiles_ms(samples)
+        assert 0 < stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]
+
+    def test_empty_and_singleton(self):
+        from repro.bench.serve_bench import latency_percentiles_ms
+
+        assert latency_percentiles_ms([])["p99"] is None
+        stats = latency_percentiles_ms([0.002])
+        assert stats["p50"] == stats["p99"] == stats["max"] == 2.0
