@@ -12,7 +12,9 @@ Recorded into the ``serving`` section of ``BENCH_propagate.json``:
 queries-per-second and exact per-query latency percentiles (p50/p95/p99,
 from the raw samples rather than histogram buckets) in both regimes, how
 many maintenance cycles (and epoch publishes) overlapped the measured
-window, and the result-cache hit rate under invalidation pressure.
+window, the result-cache hit rate under invalidation pressure, and the
+end-to-end *visibility lag* — per-batch ingest->queryable seconds from
+the epoch manifests published during the window (p50/p95/p99).
 
 ``--expose-http PORT`` starts the embedded metrics exporter on the
 under-maintenance server and ``--hold-exporter SECONDS`` keeps it
@@ -168,6 +170,10 @@ def run_serving(
     stop = threading.Event()
     cycles = 0
     maintenance_errors: list[BaseException] = []
+    # Manifest high-water marks: every epoch the maintainer publishes past
+    # these carries per-batch ingest->publish lags for the visibility
+    # section below.
+    manifest_marks = {view.name: len(view.lineage) for view in views}
 
     def maintainer() -> None:
         nonlocal cycles
@@ -203,6 +209,16 @@ def run_serving(
     if maintenance_errors:
         raise maintenance_errors[0]
 
+    # End-to-end visibility lag under live maintenance: for every batch in
+    # every epoch manifest published during the measured window, the
+    # seconds from its ingest stamp to the epoch's publish.
+    visibility_lags = [
+        lag
+        for view in views
+        for manifest in view.lineage.manifests_since(manifest_marks[view.name])
+        for lag in manifest.lags().values()
+    ]
+
     return {
         "pos_rows": pos_rows,
         "change_size": change_size,
@@ -217,6 +233,8 @@ def run_serving(
         "maintenance_cycles": cycles,
         "epochs_published": max(view.epoch for view in views),
         "cache_hit_rate": round(hit_rate, 3),
+        "visibility_lag_ms": latency_percentiles_ms(visibility_lags),
+        "visibility_lag_samples": len(visibility_lags),
     }
 
 
@@ -271,6 +289,12 @@ def main(argv: Sequence[str] | None = None) -> int:
           f"{serving['maintenance_cycles']} cycles, "
           f"{serving['epochs_published']} epochs published)")
     print(f"  cache hit rate:    {serving['cache_hit_rate']:>10.1%}")
+    visibility = serving["visibility_lag_ms"]
+    if visibility["p50"] is not None:
+        print(f"  visibility lag:    p50 {visibility['p50']:.2f}ms / "
+              f"p95 {visibility['p95']:.2f}ms / p99 {visibility['p99']:.2f}ms "
+              f"(ingest->queryable, {serving['visibility_lag_samples']:,} "
+              f"batches)")
 
     path = write_bench_json("serving", serving, args.output)
     print(f"\nwrote {path}")

@@ -55,6 +55,13 @@ Commands
     pending change counts.  ``--prom`` additionally prints the freshness
     and integrity gauges in the Prometheus text format.  Exit 1 on any
     certificate drift.
+``lineage``
+    Change-set lineage explorer over a retail warehouse that ran several
+    nightly rounds and holds one still-pending batch: the default report
+    prints per-view visibility-lag percentiles over every recorded epoch
+    manifest; ``--batch N`` answers "which view epochs include batch N"
+    (exit 1 for an unknown id); ``--view NAME`` lists one view's
+    manifests and its pending backlog.
 ``audit``
     Corruption-detecting integrity audit after one nightly maintenance
     run.  Full mode (default) compares maintained, stored, and
@@ -626,11 +633,7 @@ def _retail_warehouse_after_nightly(pos_rows: int, change_rows: int,
         else update_generating_changes
     )
     staged = factory(data.pos, data.config, change_rows, data.rng)
-    pending = warehouse.pending_changes("pos")
-    for row in staged.insertions.scan():
-        pending.insert(row)
-    for row in staged.deletions.scan():
-        pending.delete(row)
+    warehouse.stage_changes("pos", staged)
     run_nightly_maintenance(warehouse)
     return warehouse, data
 
@@ -652,11 +655,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
     staged = update_generating_changes(
         data.pos, data.config, max(1, args.changes // 2), data.rng
     )
-    pending = warehouse.pending_changes("pos")
-    for row in staged.insertions.scan():
-        pending.insert(row)
-    for row in staged.deletions.scan():
-        pending.delete(row)
+    warehouse.stage_changes("pos", staged)
 
     statuses = warehouse_status(warehouse)
     print(format_status(statuses))
@@ -668,6 +667,137 @@ def _cmd_status(args: argparse.Namespace) -> int:
     if drifted:
         print(f"certificate drift detected: {drifted}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    import math
+
+    if not sorted_values:
+        return 0.0
+    index = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[min(index, len(sorted_values) - 1)]
+
+
+def _cmd_lineage(args: argparse.Namespace) -> int:
+    from .warehouse.nightly import run_nightly_maintenance
+    from .workload import (
+        RetailConfig,
+        build_retail_warehouse,
+        generate_retail,
+        update_generating_changes,
+    )
+
+    data = generate_retail(RetailConfig(pos_rows=args.pos_rows))
+    warehouse = build_retail_warehouse(data)
+    # update_generating_changes needs an even size (delete+reinsert pairs).
+    per_round = max(2, (args.changes // max(1, args.rounds)) // 2 * 2)
+    for _ in range(args.rounds):
+        staged = update_generating_changes(
+            data.pos, data.config, per_round, data.rng
+        )
+        warehouse.stage_changes("pos", staged)
+        run_nightly_maintenance(warehouse)
+    # Leave one batch staged but unmaintained, so the pending side of the
+    # report (and --batch on a not-yet-visible id) is exercised.
+    warehouse.stage_changes(
+        "pos",
+        update_generating_changes(
+            data.pos, data.config, max(2, (per_round // 2) // 2 * 2), data.rng
+        ),
+    )
+    pending = warehouse.pending_changes("pos")
+
+    if args.batch is not None:
+        return _lineage_batch_report(warehouse, pending, args.batch)
+    if args.view is not None:
+        return _lineage_view_report(warehouse, pending, args.view)
+    return _lineage_summary(warehouse, pending)
+
+
+def _lineage_batch_report(warehouse, pending, batch_id: int) -> int:
+    """Which epochs include *batch_id* — one line per view."""
+    print(f"batch {batch_id}:")
+    found = False
+    for name in sorted(warehouse.views):
+        manifest = warehouse.views[name].lineage.manifest_for(batch_id)
+        if manifest is None:
+            continue
+        found = True
+        lag = manifest.lags()[batch_id]
+        print(
+            f"  {name:<14} epoch {manifest.epoch:>3}  "
+            f"refresh {manifest.refresh_count:>3}  "
+            f"mode {manifest.mode:<9}  lag {lag:.6f}s"
+        )
+    if batch_id in pending.lineage:
+        found = True
+        print(
+            f"  (staged, not yet visible in any view — "
+            f"age {pending.lineage.oldest_age_s():.6f}s ceiling)"
+        )
+    if not found:
+        print("  unknown batch id (never staged here)")
+        return 1
+    return 0
+
+
+def _lineage_view_report(warehouse, pending, view_name: str) -> int:
+    """Every epoch manifest of one view, plus its pending backlog."""
+    view = warehouse.views.get(view_name)
+    if view is None:
+        print(f"no view named {view_name!r}", file=sys.stderr)
+        return 2
+    print(f"view {view_name}: {len(view.lineage)} manifests")
+    for manifest in view.lineage.manifests():
+        intervals = ",".join(
+            f"{lo}-{hi}" if lo != hi else f"{lo}"
+            for lo, hi in manifest.intervals()
+        )
+        print(
+            f"  epoch {manifest.epoch:>3}  mode {manifest.mode:<9} "
+            f"batches [{intervals}]  max_lag {manifest.max_lag_s:.6f}s"
+        )
+    backlog = view.lineage.pending_against(pending.lineage)
+    if backlog:
+        intervals = ",".join(
+            f"{lo}-{hi}" if lo != hi else f"{lo}"
+            for lo, hi in backlog.intervals()
+        )
+        print(
+            f"  pending: {len(backlog)} batches [{intervals}] "
+            f"oldest {backlog.oldest_age_s():.6f}s"
+        )
+    else:
+        print("  pending: none")
+    return 0
+
+
+def _lineage_summary(warehouse, pending) -> int:
+    """Per-view visibility-lag percentiles over all recorded manifests."""
+    header = (
+        f"{'view':<14} {'manifests':>9} {'batches':>8} {'pending':>8} "
+        f"{'lag_p50':>9} {'lag_p95':>9} {'lag_p99':>9} {'lag_max':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in sorted(warehouse.views):
+        view = warehouse.views[name]
+        lags = sorted(
+            lag
+            for manifest in view.lineage.manifests()
+            for lag in manifest.lags().values()
+        )
+        backlog = view.lineage.pending_against(pending.lineage)
+        print(
+            f"{name:<14} {len(view.lineage):>9} "
+            f"{view.lineage.batches_published():>8} {len(backlog):>8} "
+            f"{_nearest_rank(lags, 0.50):>9.6f} "
+            f"{_nearest_rank(lags, 0.95):>9.6f} "
+            f"{_nearest_rank(lags, 0.99):>9.6f} "
+            f"{(lags[-1] if lags else 0.0):>9.6f}"
+        )
     return 0
 
 
@@ -728,7 +858,8 @@ def _cmd_history(args: argparse.Namespace) -> int:
         return 0
     header = (
         f"{'run':>4}  {'when':<19} {'kind':<16} {'online':>8} "
-        f"{'offline':>8} {'accesses':>10} {'views':>5} {'changes':>8}"
+        f"{'offline':>8} {'accesses':>10} {'views':>5} {'changes':>8} "
+        f"{'batches':>7} {'lag_s':>8}"
     )
     print(header)
     print("-" * len(header))
@@ -739,13 +870,25 @@ def _cmd_history(args: argparse.Namespace) -> int:
         access = record.get("access") or {}
         changes = record.get("changes") or {}
         n_changes = sum(changes.values())
+        # End-to-end visibility: batches the run published and the worst
+        # ingest->publish lag over all its manifests (older ledgers have
+        # no lineage section -> "-").
+        lineage = record.get("lineage")
+        if lineage:
+            batches = max(
+                (m.get("batches", 0) for m in lineage.values()), default=0
+            )
+            lag = f"{max(m.get('max_lag_s', 0.0) for m in lineage.values()):.3f}"
+        else:
+            batches, lag = 0, "-"
         print(
             f"{record.get('run_id', '?'):>4}  {when:<19} "
             f"{record.get('kind', '?'):<16} "
             f"{record.get('online_s', 0.0):>8.3f} "
             f"{record.get('offline_s', 0.0):>8.3f} "
             f"{access.get('total', 0):>10,} "
-            f"{len(record.get('views') or {}):>5} {n_changes:>8,}"
+            f"{len(record.get('views') or {}):>5} {n_changes:>8,} "
+            f"{batches:>7,} {lag:>8}"
         )
     return 0
 
@@ -990,6 +1133,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also print freshness/integrity gauges in the "
                              "Prometheus text format")
     status.set_defaults(func=_cmd_status)
+
+    lineage = sub.add_parser(
+        "lineage",
+        help="change-set lineage explorer: batch->epoch manifests and "
+             "visibility-lag percentiles",
+    )
+    lineage.add_argument("--pos-rows", type=int, default=5_000)
+    lineage.add_argument("--changes", type=int, default=500,
+                         help="total change rows across all rounds")
+    lineage.add_argument("--rounds", type=int, default=3,
+                         help="nightly maintenance rounds to run")
+    lineage.add_argument("--batch", type=int, default=None, metavar="N",
+                         help="show which view epochs include batch N")
+    lineage.add_argument("--view", default=None, metavar="NAME",
+                         help="show every epoch manifest of one view")
+    lineage.set_defaults(func=_cmd_lineage)
 
     audit = sub.add_parser(
         "audit",

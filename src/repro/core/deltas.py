@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 
 from ..errors import MaintenanceError
+from ..obs.lineage import BatchLineage
 from ..relational.schema import Schema
 from ..relational.table import Table
 from ..views.definition import SummaryViewDefinition
@@ -77,13 +78,23 @@ def delta_schema(
 
 
 class SummaryDelta:
-    """The computed summary-delta table for one view."""
+    """The computed summary-delta table for one view.
+
+    *lineage* names the change-set batches this delta folds in
+    (:class:`~repro.obs.lineage.BatchLineage`, snapshotted when propagate
+    reads the change set).  Derived deltas — a child computed from a
+    parent's delta along a lattice edge — inherit the parent's lineage:
+    the same source batches flow through every edge query.  Refresh pins
+    it into the view's epoch manifest at commit time.  Hand-built deltas
+    default to an empty lineage and record no manifest.
+    """
 
     def __init__(
         self,
         definition: SummaryViewDefinition,
         table: Table,
         policy: MinMaxPolicy = MinMaxPolicy.PAPER,
+        lineage: BatchLineage | None = None,
     ):
         expected = delta_schema(definition, policy)
         if table.schema != expected:
@@ -94,6 +105,7 @@ class SummaryDelta:
         self.definition = definition
         self.table = table
         self.policy = policy
+        self.lineage = lineage if lineage is not None else BatchLineage()
 
     def __repr__(self) -> str:
         return (

@@ -31,6 +31,7 @@ from itertools import combinations
 from typing import Mapping
 
 from ..errors import MaintenanceError
+from ..obs.lineage import BatchLineage
 from ..relational.aggregation import group_by
 from ..relational.expressions import Case, Column, Expression, Literal, Mul
 from ..relational.operators import hash_join, project, select, union_all
@@ -217,7 +218,14 @@ def compute_summary_delta_combined(
         _delta_specs(definition, policy),
         name=f"sd_{definition.name}",
     )
-    return SummaryDelta(definition, delta_rows, policy)
+    # The combined delta folds fact *and* dimension batches: its lineage
+    # is the union of every contributing change set's.
+    lineage = BatchLineage()
+    if fact_changes is not None:
+        lineage.merge(fact_changes.lineage)
+    for change_set in (dimension_changes or {}).values():
+        lineage.merge(change_set.lineage)
+    return SummaryDelta(definition, delta_rows, policy, lineage=lineage)
 
 
 def apply_all_changes(

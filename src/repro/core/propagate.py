@@ -182,7 +182,10 @@ def compute_summary_delta(
             registry = metrics.registry()
             registry.counter("propagate.invocations").inc()
             registry.counter("propagate.delta_rows").inc(len(delta_rows))
-        return SummaryDelta(definition, delta_rows, options.policy)
+        return SummaryDelta(
+            definition, delta_rows, options.policy,
+            lineage=changes.lineage.snapshot(),
+        )
 
 
 # ----------------------------------------------------------------------

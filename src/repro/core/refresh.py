@@ -50,6 +50,7 @@ from typing import Any, Callable
 from ..errors import InconsistentDeltaError, MaintenanceError
 from ..obs import metrics as obs_metrics
 from ..obs import tracing
+from ..obs.lineage import record_publish as lineage_record_publish
 from ..relational.stats import collector
 from ..relational.table import Row, charge_access
 from ..relational.types import null_max, null_min
@@ -101,10 +102,12 @@ class RefreshMode(enum.Enum):
 def versioned_default() -> bool:
     """Whether maintenance defaults to versioned copy-on-refresh.
 
-    ``REPRO_VERSIONED=1`` flips the fleet-wide default; in-place remains
-    the default otherwise (it matches the paper's batch-window setting
-    and does no table copying)."""
-    return os.environ.get("REPRO_VERSIONED", "0") == "1"
+    Versioned copy-on-refresh is the shipped default: readers overlap the
+    refresh window and epoch manifests pin each published version to its
+    contributing batches.  ``REPRO_VERSIONED=0`` is the kill switch back
+    to in-place refresh (the paper's exclusive batch-window setting — no
+    table copying, no concurrent reads during refresh)."""
+    return os.environ.get("REPRO_VERSIONED", "1") == "1"
 
 
 def resolve_refresh_mode(mode: "RefreshMode | str | None" = None) -> RefreshMode:
@@ -477,6 +480,7 @@ def refresh(
         )
         _record_refresh_stats(span, stats, locator)
         view.freshness.mark_refreshed(stats.delta_rows)
+        lineage_record_publish(view, delta, mode=RefreshMode.INPLACE.value)
         return stats
 
 

@@ -24,6 +24,7 @@ from typing import Any, Callable
 from ..errors import InconsistentDeltaError, MaintenanceError
 from ..obs import metrics as obs_metrics
 from ..obs import tracing
+from ..obs.lineage import record_publish as lineage_record_publish
 from ..relational.table import charge_access
 from ..views.materialize import MaterializedView
 from .deltas import SummaryDelta
@@ -108,6 +109,9 @@ def refresh_atomically(
         )
         _record_refresh_stats(refresh_span, stats, locator)
         view.freshness.mark_refreshed(stats.delta_rows)
+        # Commit reached (a rollback raised past us): pin the delta's
+        # batches to the view's new version stamp.
+        lineage_record_publish(view, delta, mode="atomic")
         return stats
 
 
@@ -162,6 +166,9 @@ def refresh_versioned(
         if tracing.enabled():
             obs_metrics.registry().counter("refresh.published_epochs").inc()
         view.freshness.mark_refreshed(stats.delta_rows)
+        # Published — a failed build or publish raised before this point,
+        # leaving no manifest; the batches became visible at this epoch.
+        lineage_record_publish(view, delta, mode="versioned")
         return stats
 
 

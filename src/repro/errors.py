@@ -55,6 +55,16 @@ class InconsistentDeltaError(MaintenanceError):
     """
 
 
+class LineageError(MaintenanceError):
+    """Change-set lineage would be violated.
+
+    Raised when recording an epoch manifest would place a batch id in a
+    second manifest of the same view — the same deferred changes applied
+    twice — breaking the no-duplication invariant that makes "which
+    epoch contains batch N" a well-posed question.
+    """
+
+
 class PublishError(MaintenanceError):
     """A shadow view version cannot be published.
 

@@ -163,7 +163,10 @@ def propagate_lattice(
                 )
             rows = node.edge.apply_delta(parent_delta.table, options.policy)
             node_span.add("delta_rows", len(rows))
-            return SummaryDelta(node.definition, rows, options.policy)
+            return SummaryDelta(
+                node.definition, rows, options.policy,
+                lineage=parent_delta.lineage,
+            )
 
     def charge(counter: str, amount: int, span: "tracing.Span") -> None:
         """Charge *amount* access units to the active collector and the
@@ -257,7 +260,8 @@ def propagate_lattice(
                     )
                     node_span.add("delta_rows", len(table))
                     out[name] = SummaryDelta(
-                        lattice.node(name).definition, table, options.policy
+                        lattice.node(name).definition, table, options.policy,
+                        lineage=parent_delta.lineage,
                     )
             return out
 
@@ -457,6 +461,9 @@ def maintain_lattice(
         "insertions": len(changes.insertions),
         "deletions": len(changes.deletions),
     }
+    # Manifest high-water marks: anything recorded past these during this
+    # run is ours, and goes into the ledger record's lineage section.
+    lineage_marks = {view.name: len(view.lineage) for view in views}
     with ExitStack() as scope:
         if ledger is not None:
             access = scope.enter_context(measuring())
@@ -519,6 +526,13 @@ def maintain_lattice(
                 freshness={
                     view.name: view.freshness.as_dict() for view in views
                 },
+                lineage={
+                    view.name: manifest.as_dict()
+                    for view in views
+                    for manifest in view.lineage.manifests_since(
+                        lineage_marks[view.name]
+                    )
+                },
             ))
             run_id = stamped["run_id"]
         else:
@@ -555,6 +569,7 @@ def maintenance_record(
     estimate: PlanCostEstimate | None,
     freshness: Mapping[str, dict] | None = None,
     mode: RefreshMode | str | None = None,
+    lineage: Mapping[str, dict] | None = None,
 ) -> dict:
     """Build one run-ledger record (see :mod:`repro.obs.ledger` for the
     schema).  Only depth-0 phases are recorded — nested phases would
@@ -584,6 +599,9 @@ def maintenance_record(
         "freshness": {
             name: dict(fields) for name, fields in sorted(freshness.items())
         } if freshness is not None else None,
+        "lineage": {
+            name: dict(manifest) for name, manifest in sorted(lineage.items())
+        } if lineage is not None else None,
         "predictions": None,
         "predicted_with_lattice": None,
         "predicted_without_lattice": None,

@@ -21,7 +21,7 @@ Quick use::
     print(format_span_tree(recorder.root))
 """
 
-from . import audit, export, ledger, metrics, serving, tracing
+from . import audit, export, ledger, lineage, metrics, serving, tracing
 from .audit import (
     IntegrityEvent,
     ViewCertificate,
@@ -47,8 +47,19 @@ from .ledger import (
     set_ledger,
     suspended_ledger,
 )
+from .lineage import (
+    BatchLineage,
+    EpochManifest,
+    LineageClock,
+    ViewLineage,
+    compress_intervals,
+    lineage_clock,
+    record_publish,
+    set_lineage_clock,
+)
 from .metrics import (
     BUCKET_BOUNDS,
+    LAG_BUCKETS_S,
     LATENCY_BUCKETS_S,
     Counter,
     Gauge,
@@ -87,13 +98,17 @@ from .tracing import (
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "LAG_BUCKETS_S",
     "LATENCY_BUCKETS_S",
     "NOOP_SPAN",
     "STALENESS_SLO_ENV_VAR",
+    "BatchLineage",
     "Counter",
+    "EpochManifest",
     "Gauge",
     "Histogram",
     "IntegrityEvent",
+    "LineageClock",
     "MetricsExporter",
     "MetricsRegistry",
     "NullRecorder",
@@ -106,9 +121,11 @@ __all__ = [
     "TraceRecorder",
     "ViewCertificate",
     "ViewFreshness",
+    "ViewLineage",
     "active_ledger",
     "active_recorder",
     "certificates_enabled",
+    "compress_intervals",
     "current_request_id",
     "current_span",
     "detect_regression",
@@ -117,16 +134,19 @@ __all__ = [
     "format_span_tree",
     "format_top",
     "install_recorder",
+    "lineage_clock",
     "metric_key",
     "next_request_id",
     "prometheus_text",
     "record_events",
+    "record_publish",
     "registry",
     "request_scope",
     "resolve_staleness_slo",
     "row_digest",
     "rows_certificate",
     "set_ledger",
+    "set_lineage_clock",
     "set_registry",
     "span",
     "span_to_dict",

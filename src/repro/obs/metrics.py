@@ -100,6 +100,15 @@ LATENCY_BUCKETS_S = (
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Bucket upper bounds for ingest→publish visibility lag, in seconds.
+#: Much wider than the query-latency ladder: under continuous maintenance
+#: a batch becomes queryable in milliseconds, but a deferred batch
+#: legitimately waits minutes-to-hours for its nightly window.
+LAG_BUCKETS_S = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 300.0, 900.0, 3600.0, 14400.0, 86400.0,
+)
+
 
 class Histogram:
     """A fixed-bucket histogram with count/sum/min/max.

@@ -246,8 +246,10 @@ def export_serving_gauges(
 
     Called on every ``/metrics`` scrape (and usable directly): per view,
     staleness seconds since the last publish/refresh, pending delta rows
-    (insertions + deletions deferred against its fact table), and the
-    epoch lifecycle gauges via
+    (insertions + deletions deferred against its fact table), the
+    change-set lineage backlog (``lineage.pending_batches`` and
+    ``lineage.oldest_pending_batch_age_s`` — batches staged but not yet in
+    any published epoch of the view), and the epoch lifecycle gauges via
     :meth:`~repro.views.materialize.MaterializedView.collect_epochs`.
     """
     registry = metrics if metrics is not None else obs_metrics.registry()
@@ -262,6 +264,13 @@ def export_serving_gauges(
         registry.gauge("serve.pending_delta_rows", labels=labels).set(
             len(pending.insertions) + len(pending.deletions)
         )
+        pending_batches = view.lineage.pending_against(pending.lineage)
+        registry.gauge("lineage.pending_batches", labels=labels).set(
+            len(pending_batches)
+        )
+        registry.gauge(
+            "lineage.oldest_pending_batch_age_s", labels=labels
+        ).set(round(pending_batches.oldest_age_s(now), 6))
         view.collect_epochs(metrics=registry)
 
 
@@ -290,6 +299,26 @@ def status_payload(
     ):
         view = warehouse.views[status.name]
         epochs = view.collect_epochs(metrics=registry)
+        pending_batches = view.lineage.pending_against(
+            warehouse.pending_changes(status.fact).lineage
+        )
+        lag = registry.histogram(
+            "lineage.visibility_lag_s",
+            labels={"view": status.name},
+            bounds=obs_metrics.LAG_BUCKETS_S,
+        )
+        lineage_section = view.lineage.as_dict()
+        lineage_section["pending_batches"] = len(pending_batches)
+        lineage_section["oldest_pending_batch_age_s"] = round(
+            pending_batches.oldest_age_s(now), 6
+        )
+        lineage_section["visibility_lag"] = {
+            "count": lag.count,
+            "p50_s": lag.quantile(0.50),
+            "p95_s": lag.quantile(0.95),
+            "p99_s": lag.quantile(0.99),
+            "max_s": lag.max,
+        }
         views[status.name] = {
             "fact": status.fact,
             "rows": status.rows,
@@ -305,6 +334,7 @@ def status_payload(
             "queries": registry.counter_value(
                 "serve.queries_by_source", labels={"source": status.name}
             ),
+            "lineage": lineage_section,
         }
     latency = registry.histogram(
         "serve.latency_s", bounds=obs_metrics.LATENCY_BUCKETS_S
@@ -375,7 +405,8 @@ def format_top(
     ]
     header = (
         f"{'view':<14} {'rows':>8} {'epoch':>5} {'kept':>4} {'mark':>4} "
-        f"{'stale_s':>8} {'pending':>8} {'queries':>9} {'qps':>8}"
+        f"{'stale_s':>8} {'pending':>8} {'oldest_s':>8} {'queries':>9} "
+        f"{'qps':>8}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -383,10 +414,15 @@ def format_top(
     for name in sorted(payload["views"]):
         view = payload["views"][name]
         before = prev_views.get(name, {})
+        # Tolerate payloads from exporters predating the lineage section.
+        lineage = view.get("lineage") or {}
+        oldest = lineage.get("oldest_pending_batch_age_s")
+        oldest_cell = "-" if oldest is None else f"{oldest:.2f}"
         lines.append(
             f"{name:<14} {view['rows']:>8,} {view['epoch']:>5} "
             f"{view['epochs_retained']:>4} {view['epoch_watermark']:>4} "
             f"{view['staleness_seconds']:>8.2f} {view['pending_rows']:>8,} "
+            f"{oldest_cell:>8} "
             f"{view['queries']:>9,} "
             f"{rate(view['queries'], before.get('queries', 0)):>8}"
         )

@@ -26,6 +26,7 @@ from ..obs.audit import (
     certificates_enabled,
     rows_certificate,
 )
+from ..obs.lineage import ViewLineage
 from ..relational.aggregation import group_by as physical_group_by
 from ..relational.expressions import col
 from ..relational.operators import select
@@ -176,6 +177,10 @@ class MaterializedView:
         self._publish_lock = threading.Lock()
         #: Per-view freshness (last refresh time / run id / kind).
         self.freshness = ViewFreshness()
+        #: Per-view change-set lineage: the epoch manifests recorded by
+        #: committed refreshes (which batches became visible, with their
+        #: ingest→publish lags).  See :mod:`repro.obs.lineage`.
+        self.lineage = ViewLineage()
         #: Epoch retention tracking: weak references to the *tables* of
         #: superseded epochs (the table is what a pinned plan actually
         #: holds onto, so its liveness is the retention signal), plus the

@@ -95,6 +95,14 @@ class Warehouse:
         """Defer deletions from *fact_name*."""
         return self.pending_changes(fact_name).delete_many(rows)
 
+    def stage_changes(self, fact_name: str, changes: ChangeSet) -> int:
+        """Merge a pre-built change set into the pending one, keeping the
+        original batch ids and ingest timestamps (re-staging row by row
+        would restamp every tuple and zero out its accumulated lag)."""
+        pending = self.pending_changes(fact_name)
+        pending.merge(changes)
+        return changes.size()
+
     def apply_pending_to_base(self, fact_name: str) -> None:
         """Apply the deferred changes to the base fact table (keeping the
         change set available for view maintenance)."""

@@ -9,16 +9,30 @@ table's schema.  The maintenance algorithms read the change set during
 data).
 
 Deletion semantics are bag-style: each deletion row removes exactly one
-matching occurrence from the base table.  Applying a deletion that matches
-nothing raises :class:`~repro.errors.InconsistentDeltaError`.
+matching occurrence from the base table.  ``apply_to`` is transactional:
+every deferred deletion is validated against the base table *before* any
+mutation, so an inconsistent batch raises
+:class:`~repro.errors.InconsistentDeltaError` with the base table untouched.
+
+Every enqueue call is stamped as a **lineage batch**: a monotonically
+assigned batch id plus ingest timestamp drawn from the process-wide
+:func:`~repro.obs.lineage.lineage_clock`, accumulated in
+:attr:`ChangeSet.lineage`.  Propagate snapshots the lineage onto the
+summary deltas it computes, and the refresh paths pin it — with per-batch
+ingest→publish lag — into the epoch manifests of every view the batch
+reaches (:mod:`repro.obs.lineage`).  :meth:`batch` groups several enqueues
+under one batch id (a micro-batch); :meth:`merge` composes two change
+sets' rows *and* lineages; :meth:`clear` resets both.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Iterable, Sequence
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Sequence
 
 from ..errors import InconsistentDeltaError, TableError
+from ..obs.lineage import BatchLineage, lineage_clock
 from ..relational.schema import Schema
 from ..relational.table import Row, Table
 
@@ -42,6 +56,11 @@ class ChangeSet:
         self.base_name = base_name
         self.insertions = Table(f"{base_name}_ins", schema)
         self.deletions = Table(f"{base_name}_del", schema)
+        #: Batches (batch id → ingest timestamp) deferred here and not
+        #: yet cleared; every enqueue stamps one unless a :meth:`batch`
+        #: scope is open.
+        self.lineage = BatchLineage()
+        self._open_batch: int | None = None
 
     def __repr__(self) -> str:
         return (
@@ -53,19 +72,68 @@ class ChangeSet:
     def schema(self) -> Schema:
         return self.insertions.schema
 
+    def _stamp(self) -> None:
+        """Stamp the enqueue that is about to happen with a batch id."""
+        if self._open_batch is not None:
+            return   # grouped under the surrounding batch() scope
+        batch_id, ingest_ts = lineage_clock().next_batch()
+        self.lineage.stamp(batch_id, ingest_ts)
+
+    @contextmanager
+    def batch(self) -> Iterator[int]:
+        """Group every enqueue inside the ``with`` block under one batch id.
+
+        The micro-batch primitive: a streaming source that delivers a
+        burst of rows stamps them as one unit of visibility tracking
+        instead of one batch per row.  Yields the batch id.  Scopes do
+        not nest (the outer scope keeps its id).
+        """
+        if self._open_batch is not None:
+            yield self._open_batch
+            return
+        batch_id, ingest_ts = lineage_clock().next_batch()
+        self.lineage.stamp(batch_id, ingest_ts)
+        self._open_batch = batch_id
+        try:
+            yield batch_id
+        finally:
+            self._open_batch = None
+
     def insert(self, row: Sequence[Any]) -> None:
         """Defer an insertion."""
+        self._stamp()
         self.insertions.insert(row)
 
     def delete(self, row: Sequence[Any]) -> None:
         """Defer a deletion (one bag occurrence of *row*)."""
+        self._stamp()
         self.deletions.insert(row)
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        self._stamp()
         return self.insertions.insert_many(rows)
 
     def delete_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        self._stamp()
         return self.deletions.insert_many(rows)
+
+    def merge(self, other: "ChangeSet") -> None:
+        """Accumulate *other*'s deferred rows and lineage into this set.
+
+        The streaming-accumulation primitive: small change sets produced
+        continuously compose into the one the next maintenance cycle
+        consumes, and the merged lineage keeps every contributing batch's
+        original ingest timestamp (so visibility lag measures from true
+        arrival, not from the merge).
+        """
+        if other.schema != self.schema:
+            raise TableError(
+                f"cannot merge change set for {other.base_name!r} into "
+                f"{self.base_name!r}: schemas differ"
+            )
+        self.insertions.insert_many(other.insertions.scan())
+        self.deletions.insert_many(other.deletions.scan())
+        self.lineage.merge(other.lineage)
 
     def size(self) -> int:
         """Total number of deferred change tuples."""
@@ -78,24 +146,29 @@ class ChangeSet:
         """Drop all deferred changes (after they have been applied)."""
         self.insertions.truncate()
         self.deletions.truncate()
+        self.lineage.clear()
 
     def apply_to(self, base: Table) -> None:
-        """Apply the deferred changes to *base* in bulk.
+        """Apply the deferred changes to *base* in bulk, transactionally.
 
-        Deletions are applied first by counting requested rows and removing
-        matching slots in a single scan (so the cost is one pass over the
-        base table, independent of the number of deletions), then insertions
-        are appended.
+        Deletions are resolved by counting requested rows and finding the
+        matching slots in a single read-only scan (one pass over the base
+        table, independent of the number of deletions); insertions are
+        arity-checked against the base schema.  Only after *every* change
+        validates does any mutation happen, so a bad batch — a deletion
+        matching no base row — raises
+        :class:`~repro.errors.InconsistentDeltaError` with *base* exactly
+        as it was.
         """
         if base.schema != self.schema:
             raise TableError(
                 f"change set for {self.base_name!r} does not match schema of "
                 f"table {base.name!r}"
             )
+        doomed_slots: list[int] = []
         if len(self.deletions):
             wanted: Counter[Row] = Counter(self.deletions.scan())
             remaining = sum(wanted.values())
-            doomed_slots: list[int] = []
             for slot, row in base.slots():
                 if remaining == 0:
                     break
@@ -110,6 +183,10 @@ class ChangeSet:
                     f"{remaining} deferred deletion(s) match no row in "
                     f"{base.name!r}; first missing row: {missing[0]!r}"
                 )
-            for slot in doomed_slots:
-                base.delete_slot(slot)
+        # Validation complete — mutations from here on cannot fail: the
+        # doomed slots were live when scanned, and every deferred
+        # insertion was arity-checked against this same schema when it
+        # entered the change tables.
+        for slot in doomed_slots:
+            base.delete_slot(slot)
         base.insert_many(self.insertions.scan())

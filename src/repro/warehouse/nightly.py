@@ -61,6 +61,11 @@ def run_nightly_maintenance(
 
     ledger = active_ledger()
     change_counts = {"insertions": 0, "deletions": 0}
+    # Warehouse-wide manifest high-water marks, so the single "nightly"
+    # record carries every manifest the run published.
+    lineage_marks = {
+        name: len(view.lineage) for name, view in warehouse.views.items()
+    }
     with ExitStack() as scope:
         if ledger is not None:
             # The warehouse-wide record subsumes the per-fact ones, so
@@ -113,6 +118,13 @@ def run_nightly_maintenance(
                 freshness={
                     name: warehouse.views[name].freshness.as_dict()
                     for name in maintained_views
+                },
+                lineage={
+                    name: manifest.as_dict()
+                    for name in maintained_views
+                    for manifest in warehouse.views[name].lineage.manifests_since(
+                        lineage_marks[name]
+                    )
                 },
             ))
             run_id = stamped["run_id"]

@@ -322,3 +322,23 @@ class TestFormatTop:
         frame = format_top(after, before)
         assert "qps       50" in frame     # (150 - 50) / 2s
         assert frame.rstrip().endswith("30")   # (80 - 20) / 2s per view
+
+    def test_lineage_backlog_column(self):
+        payload = self.payload(100.0, 50, 20)
+        payload["views"]["sR_sales"]["lineage"] = {
+            "pending_batches": 3,
+            "oldest_pending_batch_age_s": 7.25,
+        }
+        frame = format_top(payload)
+        assert "oldest_s" in frame
+        assert "7.25" in frame
+
+    def test_payload_without_lineage_renders_dash(self):
+        # Exporters predating the lineage section must still render.
+        frame = format_top(self.payload(100.0, 50, 20))
+        assert "oldest_s" in frame
+        row = next(
+            line for line in frame.splitlines()
+            if line.startswith("sR_sales")
+        )
+        assert " - " in row

@@ -220,3 +220,59 @@ def test_status_endpoint_reflects_serving_and_epochs(retail):
     assert routed, "the answered query must show up under its routed view"
     assert len(slow) == 3
     assert all(re.fullmatch(r"hit|miss|bypass", s["cache"]) for s in slow)
+
+
+def test_status_lineage_section_tracks_manifests_and_backlog(retail):
+    data, warehouse = retail
+    queries = query_pool(data.pos)
+    with QueryServer(warehouse, max_workers=2, expose_http=0) as server:
+        server.answer(queries[0])
+        run_cycle(data, warehouse, mode="versioned")
+        # Stage (but do not maintain) a batch: it must show up as pending
+        # lineage backlog on the very next scrape.
+        from repro.workload import update_generating_changes
+        warehouse.stage_changes(
+            "pos",
+            update_generating_changes(data.pos, data.config, 10, data.rng),
+        )
+        payload = json.loads(scrape(server.exporter.url + "/status"))
+        samples = prom_samples(scrape(server.exporter.url + "/metrics"))
+
+    staged = warehouse.pending_changes("pos")
+    for name, record in payload["views"].items():
+        lineage = record["lineage"]
+        assert lineage["manifests"] == 1
+        assert lineage["batches_published"] > 0
+        assert lineage["pending_batches"] == len(staged.lineage)
+        assert lineage["oldest_pending_batch_age_s"] > 0
+        last = lineage["last_manifest"]
+        assert last["view"] == name
+        assert last["mode"] == "versioned"
+        assert last["epoch"] == 1
+        lag = lineage["visibility_lag"]
+        assert lag["count"] == lineage["batches_published"]
+        assert lag["p50_s"] is not None
+        # The same numbers are scraped as gauges from /metrics.
+        assert samples[
+            f'repro_lineage_pending_batches{{view="{name}"}}'
+        ] == len(staged.lineage)
+        assert samples[
+            f'repro_lineage_oldest_pending_batch_age_s{{view="{name}"}}'
+        ] > 0
+
+
+def test_status_lineage_agrees_with_view_manifests(retail):
+    data, warehouse = retail
+    with QueryServer(warehouse, max_workers=2, expose_http=0) as server:
+        run_cycle(data, warehouse, mode="versioned")
+        run_cycle(data, warehouse, mode="versioned")
+        payload = json.loads(scrape(server.exporter.url + "/status"))
+
+    for view in warehouse.views_over("pos"):
+        lineage = payload["views"][view.name]["lineage"]
+        assert lineage["manifests"] == len(view.lineage)
+        assert lineage["batches_published"] == view.lineage.batches_published()
+        assert lineage["intervals"] == [
+            [lo, hi] for lo, hi in __import__("repro").obs.lineage
+            .compress_intervals(view.lineage.published_batches())
+        ]

@@ -151,15 +151,15 @@ class TestRefreshVersioned:
 
 
 class TestModeDispatch:
-    def test_default_is_inplace(self, monkeypatch):
+    def test_default_is_versioned(self, monkeypatch):
         monkeypatch.delenv("REPRO_VERSIONED", raising=False)
-        assert not versioned_default()
-        assert resolve_refresh_mode(None) is RefreshMode.INPLACE
-
-    def test_env_flips_default_to_versioned(self, monkeypatch):
-        monkeypatch.setenv("REPRO_VERSIONED", "1")
         assert versioned_default()
         assert resolve_refresh_mode(None) is RefreshMode.VERSIONED
+
+    def test_env_kill_switch_restores_inplace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERSIONED", "0")
+        assert not versioned_default()
+        assert resolve_refresh_mode(None) is RefreshMode.INPLACE
 
     def test_strings_and_members_resolve(self):
         assert resolve_refresh_mode("versioned") is RefreshMode.VERSIONED

@@ -277,6 +277,50 @@ class TestStatusCommand:
         assert 'repro_integrity_certificate_ok{view="sR_sales"} 1' in out
 
 
+class TestLineageCommand:
+    ARGS = ["lineage", "--pos-rows", "400", "--changes", "40", "--rounds", "2"]
+
+    @pytest.fixture(autouse=True)
+    def fresh_clock(self):
+        # Batch ids come from the process-wide clock; restart it so
+        # ``--batch 1`` deterministically names this command's first batch.
+        from repro.obs.lineage import LineageClock, set_lineage_clock
+
+        previous = set_lineage_clock(LineageClock())
+        yield
+        set_lineage_clock(previous)
+
+    def test_summary_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "lag_p50" in out and "pending" in out
+        for name in ("SID_sales", "sCD_sales", "SiC_sales", "sR_sales"):
+            assert name in out
+
+    def test_batch_report_names_every_view(self, capsys):
+        assert main(self.ARGS + ["--batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("batch 1:")
+        for name in ("SID_sales", "sCD_sales", "SiC_sales", "sR_sales"):
+            assert name in out
+        assert "mode versioned" in out or "mode inplace" in out
+
+    def test_unknown_batch_exits_1(self, capsys):
+        assert main(self.ARGS + ["--batch", "999999"]) == 1
+        assert "unknown batch id" in capsys.readouterr().out
+
+    def test_view_report(self, capsys):
+        assert main(self.ARGS + ["--view", "SID_sales"]) == 0
+        out = capsys.readouterr().out
+        assert "view SID_sales:" in out
+        assert "epoch" in out and "batches [" in out
+        assert "pending: " in out
+
+    def test_unknown_view_exits_2(self, capsys):
+        assert main(self.ARGS + ["--view", "ghost"]) == 2
+        assert "no view named" in capsys.readouterr().err
+
+
 class TestAuditCommand:
     ARGS = ["audit", "--pos-rows", "400", "--changes", "40"]
 

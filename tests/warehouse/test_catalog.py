@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DefinitionError, TableError
-from repro.warehouse import Warehouse
+from repro.warehouse import ChangeSet, Warehouse
 
 from ..conftest import make_items, make_pos, make_stores, sid_definition
 
@@ -66,6 +66,25 @@ class TestPendingChanges:
         assert warehouse.pending_changes("pos").size() == 2
         warehouse.discard_pending("pos")
         assert warehouse.pending_changes("pos").is_empty()
+
+    def test_stage_changes_preserves_lineage(self, warehouse, pos):
+        # Merging a pre-built change set must keep its batch ids and
+        # ingest stamps; re-staging row by row would restamp every tuple
+        # and zero out the accumulated visibility lag.
+        prebuilt = ChangeSet("pos", pos.table.schema)
+        prebuilt.insert((1, 10, 7, 2, 1.0))
+        prebuilt.delete((2, 12, 3, 5, 1.6))
+        stamps = {
+            batch: prebuilt.lineage.ingest_ts(batch)
+            for batch in prebuilt.lineage
+        }
+        assert warehouse.stage_changes("pos", prebuilt) == 2
+        pending = warehouse.pending_changes("pos")
+        assert set(pending.lineage) == set(stamps)
+        for batch, ts in stamps.items():
+            assert pending.lineage.ingest_ts(batch) == ts
+        assert (1, 10, 7, 2, 1.0) in pending.insertions.rows()
+        assert (2, 12, 3, 5, 1.6) in pending.deletions.rows()
 
     def test_repr(self, warehouse):
         text = repr(warehouse)

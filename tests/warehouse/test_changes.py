@@ -67,6 +67,28 @@ class TestApply:
         with pytest.raises(InconsistentDeltaError):
             changes.apply_to(base)
 
+    def test_failed_apply_is_transactional(self, base, changes):
+        # A batch that mixes good mutations with one inconsistent
+        # deletion must leave the base table byte-identical: validation
+        # runs before the first mutation, not mid-apply.
+        rows_before = sorted(base.rows())
+        changes.insert((3, "z"))
+        changes.delete((1, "x"))
+        changes.delete((9, "q"))   # matches nothing -> whole batch rejected
+        with pytest.raises(InconsistentDeltaError):
+            changes.apply_to(base)
+        assert sorted(base.rows()) == rows_before
+        # The change set survives the failure intact and, once repaired,
+        # applies cleanly.
+        bad_slot = next(
+            slot for slot, row in changes.deletions.slots()
+            if row == (9, "q")
+        )
+        changes.deletions.delete_slot(bad_slot)
+        changes.apply_to(base)
+        assert (3, "z") in base.rows()
+        assert base.rows().count((1, "x")) == 1
+
     def test_schema_mismatch_raises(self, changes):
         other = Table("u", ["a"], [])
         with pytest.raises(TableError, match="schema"):
