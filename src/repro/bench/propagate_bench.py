@@ -12,7 +12,11 @@ exact hot loop of summary-delta computation:
 
 A second section times :func:`~repro.lattice.plan.propagate_lattice` over
 the Figure 9 retail lattice, serial walk vs level-parallel scheduling, and
-cross-checks that the deltas are identical.
+cross-checks that the deltas are identical.  The ``shared_scan`` section
+additionally times the stacked shared-scan + chunked-parallel engine, and
+the ``partition`` section times serial vs date-sharded propagation through
+:mod:`repro.warehouse.partition` (per-shard summary deltas on a process
+pool, merged with ``Reducer.merge``).
 
 Results are printed and merged into ``BENCH_propagate.json`` at the repo
 root (see :func:`repro.bench.reporting.write_bench_json`), seeding the
@@ -259,11 +263,27 @@ def run_shared_scan(
         propagate_lattice(lattice, changes, shared_options)
     shared_units = _access_units(measured.snapshot().as_dict())
 
+    # Stacked engine: the fused sibling kernels now run inside each
+    # chunk worker (``FusedScan.fold_chunked``), so the shared-scan and
+    # chunked-parallel speedups compose instead of excluding each other.
+    stacked_options = PropagateOptions(shared_scan=True, parallel=True)
+    stacked = propagate_lattice(lattice, changes, stacked_options)
+    for name, delta in legacy.items():
+        if not _rows_equivalent(
+            delta.table.sorted_rows(), stacked[name].table.sorted_rows()
+        ):
+            raise AssertionError(
+                f"shared-scan+parallel delta differs for {name!r}"
+            )
+
     legacy_s = _best_of(
         lambda: propagate_lattice(lattice, changes, legacy_options), repeats
     )
     shared_s = _best_of(
         lambda: propagate_lattice(lattice, changes, shared_options), repeats
+    )
+    parallel_s = _best_of(
+        lambda: propagate_lattice(lattice, changes, stacked_options), repeats
     )
     groups = [list(group) for group in lattice.sibling_groups()]
     return {
@@ -274,11 +294,105 @@ def run_shared_scan(
         "scans_saved": sum(len(group) - 1 for group in groups),
         "legacy_propagate_s": round(legacy_s, 6),
         "shared_propagate_s": round(shared_s, 6),
+        "parallel_propagate_s": round(parallel_s, 6),
         "speedup_shared_scan": round(legacy_s / shared_s, 3),
+        "speedup_shared_parallel": round(legacy_s / parallel_s, 3),
         "legacy_access_units": legacy_units,
         "shared_access_units": shared_units,
         "access_units_saved": legacy_units - shared_units,
     }
+
+
+def run_partition(
+    pos_rows: int = 50_000,
+    change_size: int = 5_000,
+    width: int | None = None,
+    repeats: int = DEFAULT_REPEATS,
+) -> dict:
+    """Serial vs date-sharded propagate over the retail lattice.
+
+    The change set is generated *before* the fact table is partitioned
+    (routing must split the exact same rows), then the same propagation
+    runs through :func:`~repro.warehouse.partition.propagate_partitioned`:
+    per-shard summary deltas on the process pool, merged with
+    ``Reducer.merge``.  The merged deltas must match the serial ones
+    before anything is timed.  Recorded invariants: the routed per-shard
+    change rows sum exactly to the change-set size, and per-shard access
+    units are reported next to the serial total (shards re-scan dimension
+    build sides, so their access total bounds the serial one from above).
+    Like the ``lattice`` section, a single-CPU host records
+    ``fallback_reason`` instead of a meaningless speedup.
+    """
+    from ..warehouse.partition import partition_fact, propagate_partitioned
+
+    data = generate_retail(RetailConfig(pos_rows=pos_rows, seed=1997))
+    views = [
+        MaterializedView.build(definition)
+        for definition in retail_view_definitions(data.pos)
+    ]
+    changes = update_generating_changes(data.pos, data.config, change_size, data.rng)
+    lattice = build_lattice_for_views(views)
+    options = PropagateOptions()
+
+    serial_deltas = propagate_lattice(lattice, changes, options)
+    with measuring() as measured:
+        propagate_lattice(lattice, changes, options)
+    serial_units = _access_units(measured.snapshot().as_dict())
+    serial_s = _best_of(
+        lambda: propagate_lattice(lattice, changes, options), repeats
+    )
+
+    width = width or max(1, data.config.n_dates // 8)
+    partitioned = partition_fact(data.pos, width=width)
+    sharded_deltas = propagate_partitioned(lattice, partitioned, changes, options)
+    for name, delta in serial_deltas.items():
+        if not _rows_equivalent(
+            delta.table.sorted_rows(), sharded_deltas[name].table.sorted_rows()
+        ):
+            raise AssertionError(f"sharded delta differs for {name!r}")
+    sharded_s = _best_of(
+        lambda: propagate_partitioned(lattice, partitioned, changes, options),
+        repeats,
+    )
+    info = partitioned.last_run
+    shard_change_total = sum(stats.change_rows for stats in info.shards)
+    if shard_change_total != changes.size():
+        raise AssertionError(
+            f"routed shard change rows ({shard_change_total}) do not sum to "
+            f"the change-set size ({changes.size()})"
+        )
+    result = {
+        "pos_rows": pos_rows,
+        "change_size": change_size,
+        "repeats": repeats,
+        "shards": info.shard_count,
+        "width": width,
+        "shard_workers": info.workers,
+        "pool": info.pool,
+        "serial_propagate_s": round(serial_s, 6),
+        "sharded_propagate_s": round(sharded_s, 6),
+        "serial_access_units": serial_units,
+        "per_shard": [
+            {
+                "key": stats.key,
+                "change_rows": stats.change_rows,
+                "delta_rows": stats.delta_rows,
+                "access_units": stats.access_units,
+            }
+            for stats in info.shards
+        ],
+        "shard_change_rows_total": shard_change_total,
+        "shard_access_units_total": sum(
+            stats.access_units for stats in info.shards
+        ),
+    }
+    if not info.pool:
+        # One effective worker: the driver ran the shards inline, so a
+        # "speedup" would be pure pool-bookkeeping noise around 1.0x.
+        result["fallback_reason"] = "single_cpu"
+    else:
+        result["speedup_sharded"] = round(serial_s / sharded_s, 3)
+    return result
 
 
 def run_columnar(
@@ -600,9 +714,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"legacy {shared['legacy_propagate_s']:.3f}s, "
         f"shared {shared['shared_propagate_s']:.3f}s "
         f"({shared['speedup_shared_scan']:.2f}x, "
+        f"shared+parallel {shared['parallel_propagate_s']:.3f}s "
+        f"({shared['speedup_shared_parallel']:.2f}x), "
         f"{shared['scans_saved']} scans saved, "
         f"{shared['legacy_access_units']:,} -> "
         f"{shared['shared_access_units']:,} access units)"
+    )
+
+    partition = run_partition(
+        pos_rows=max(rows // 4, 2_000),
+        change_size=max(rows // 40, 500),
+        repeats=repeats,
+    )
+    if "speedup_sharded" in partition:
+        verdict = f"({partition['speedup_sharded']:.2f}x)"
+    else:
+        verdict = f"(fallback: {partition['fallback_reason']})"
+    print(
+        f"partitioned propagate over {partition['pos_rows']:,} pos rows, "
+        f"{partition['change_size']:,} changes, {partition['shards']} shards "
+        f"x{partition['shard_workers']} workers: "
+        f"serial {partition['serial_propagate_s']:.3f}s, "
+        f"sharded {partition['sharded_propagate_s']:.3f}s {verdict}; "
+        f"shard accesses {partition['shard_access_units_total']:,} "
+        f"vs serial {partition['serial_access_units']:,}"
     )
 
     columnar = run_columnar(
@@ -644,6 +779,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     path = write_bench_json("micro", micro, args.output)
     write_bench_json("lattice", lattice, args.output)
     write_bench_json("shared_scan", shared, args.output)
+    write_bench_json("partition", partition, args.output)
     write_bench_json("columnar", columnar, args.output)
     write_bench_json("refresh_index", refresh_index, args.output)
     write_bench_json("trace_overhead", overhead, args.output)

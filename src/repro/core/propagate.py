@@ -83,6 +83,15 @@ class PropagateOptions:
         pipeline per child.  ``None`` (the default) defers to the
         ``REPRO_SHARED_SCAN`` environment kill-switch; the deltas are
         identical either way.
+    ``partition`` / ``shard_workers``
+        In :func:`~repro.lattice.plan.maintain_lattice`, when the fact
+        table is date-partitioned (see :mod:`repro.warehouse.partition`),
+        compute per-shard summary deltas on a process pool of
+        ``shard_workers`` workers (``None`` = CPU count) and merge them
+        with ``Reducer.merge`` before one standard refresh per view.
+        ``partition=None`` (the default) defers to the ``REPRO_PARTITION``
+        environment switch; the merged deltas, certificates, and lineage
+        manifests are identical to the serial path either way.
     """
 
     policy: MinMaxPolicy = MinMaxPolicy.PAPER
@@ -93,6 +102,8 @@ class PropagateOptions:
     max_workers: int | None = None
     level_parallel: bool = False
     shared_scan: bool | None = None
+    partition: bool | None = None
+    shard_workers: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.chunks, int) or isinstance(self.chunks, bool) \
@@ -105,6 +116,15 @@ class PropagateOptions:
                 f"unknown backend {self.backend!r}; expected one of "
                 f"{', '.join(BACKENDS)}"
             )
+        if self.shard_workers is not None and (
+            not isinstance(self.shard_workers, int)
+            or isinstance(self.shard_workers, bool)
+            or self.shard_workers < 1
+        ):
+            raise ValueError(
+                f"shard_workers must be a positive integer or None, "
+                f"got {self.shard_workers!r}"
+            )
 
     def shared_scan_active(self) -> bool:
         """Whether lattice propagation should run the shared-scan engine:
@@ -115,6 +135,16 @@ class PropagateOptions:
         from ..relational.fused import shared_scan_enabled
 
         return shared_scan_enabled()
+
+    def partition_active(self) -> bool:
+        """Whether maintenance should take the shard-parallel path for a
+        partitioned fact table: the explicit ``partition`` option when
+        set, otherwise the ``REPRO_PARTITION`` environment switch."""
+        if self.partition is not None:
+            return self.partition
+        from ..warehouse.partition import partition_enabled
+
+        return partition_enabled()
 
     def aggregate(self, table, keys, specs, name=None):
         """Run one propagate aggregation under these options: chunked and

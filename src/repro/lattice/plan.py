@@ -217,8 +217,9 @@ def propagate_lattice(
             n = len(source)
             if options.parallel:
                 # Shared-scan × parallel compose: chunk the one input scan.
-                # The compiled kernel and its probe dicts don't pickle, so
-                # a process backend degrades to threads.
+                # All three backends work — the process backend ships the
+                # (picklable) fused children and recompiles the kernel per
+                # worker process, degrading to threads if pickling fails.
                 fold_strategy = "chunked"
             elif source.storage == "column" and scan.supports_columns:
                 fold_strategy = "columns"
@@ -238,14 +239,9 @@ def propagate_lattice(
                         # charged to — and timed inside — the scan owner.
                         charge("rows_scanned", n, node_span)
                         if fold_strategy == "chunked":
-                            backend = (
-                                options.backend
-                                if options.backend in ("serial", "thread")
-                                else "thread"
-                            )
                             groups, probes = scan.fold_chunked(
                                 source.rows(), options.chunks,
-                                backend=backend,
+                                backend=options.backend,
                                 max_workers=options.max_workers,
                             )
                         elif fold_strategy == "columns":
@@ -493,7 +489,18 @@ def maintain_lattice(
                     collect_statistics(lattice, changes, views=views),
                     shared_scan=options.shared_scan_active(),
                 )
-            deltas = propagate_lattice(lattice, changes, options, clock)
+            partitioned = (
+                getattr(fact, "partition", None)
+                if options.partition_active() else None
+            )
+            if partitioned is not None:
+                from ..warehouse.partition import propagate_partitioned
+
+                deltas = propagate_partitioned(
+                    lattice, partitioned, changes, options, clock
+                )
+            else:
+                deltas = propagate_lattice(lattice, changes, options, clock)
             deltas = {
                 name: delta for name, delta in deltas.items()
                 if name in views_by_name
@@ -505,7 +512,16 @@ def maintain_lattice(
 
         if apply_base_changes:
             with clock.offline("apply-base", fact=fact.name):
-                changes.apply_to(views[0].definition.fact.table)
+                partitioned = (
+                    getattr(fact, "partition", None)
+                    if options.partition_active() else None
+                )
+                if partitioned is not None:
+                    # Per-shard apply: whole expired segments drop O(1),
+                    # semantics identical to ChangeSet.apply_to.
+                    partitioned.apply_changes(changes)
+                else:
+                    changes.apply_to(views[0].definition.fact.table)
 
         stats = refresh_lattice(views_by_name, deltas, variant, clock, mode=mode)
         result = LatticeMaintenanceResult(

@@ -37,7 +37,8 @@ from __future__ import annotations
 import functools
 import operator
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -117,6 +118,10 @@ class FusedScan:
     _dims: tuple[tuple[Table, str], ...]
     batch_source: str | None = None
     _fold_cols: Callable | None = None
+    #: Parent-delta column names; lets the process backend re-prepare an
+    #: identical scan inside a worker (``None`` on hand-built instances,
+    #: which then degrade the process backend to threads).
+    parent_columns: tuple[str, ...] | None = None
 
     @property
     def supports_columns(self) -> bool:
@@ -172,20 +177,40 @@ class FusedScan:
         — partials merge with each reducer's distributive ``merge`` in chunk
         order, so content, group order, and probe counts are identical to
         one-shot :meth:`fold` for any chunk count.  Backends: ``"serial"``
-        (in the calling thread) and ``"thread"`` (a ``ThreadPoolExecutor``);
-        the compiled kernel and probe dicts are process-local, so there is
-        no ``"process"`` variant.
+        (in the calling thread), ``"thread"`` (a ``ThreadPoolExecutor``),
+        and ``"process"`` (a ``ProcessPoolExecutor``).  The compiled kernel
+        and probe dicts are process-local, so the process backend ships the
+        *inputs* instead: each worker re-prepares an identical scan from
+        the (picklable) parent columns and fused children — compiled once
+        per worker process via the kernel cache — and folds its slice.  A
+        scan whose children fail to pickle degrades to the thread backend.
         """
         if not isinstance(chunks, int) or isinstance(chunks, bool) or chunks < 1:
             raise ValueError(
                 f"chunks must be a positive integer, got {chunks!r}"
             )
-        if backend not in ("serial", "thread"):
+        if backend not in ("serial", "thread", "process"):
             raise ValueError(
-                f"unknown backend {backend!r}; expected 'serial' or 'thread'"
+                f"unknown backend {backend!r}; expected 'serial', 'thread', "
+                f"or 'process'"
             )
         rows = rows if isinstance(rows, list) else list(rows)
         bounds = _chunk_bounds(len(rows), chunks)
+
+        if backend == "process" and len(bounds) > 1:
+            if self.parent_columns is not None and _pickles(
+                (self.parent_columns, self.children)
+            ):
+                task = functools.partial(
+                    _process_fused_task, self.parent_columns, self.children
+                )
+                with ProcessPoolExecutor(max_workers=max_workers) as executor:
+                    parts = list(executor.map(
+                        task, (rows[b0:b1] for b0, b1 in bounds)
+                    ))
+                return self._merge_parts(parts)
+            backend = "thread"
+
         dims = self._dim_probes()
 
         def run(bound: tuple[int, int]):
@@ -196,6 +221,12 @@ class FusedScan:
         else:
             with ThreadPoolExecutor(max_workers=max_workers) as executor:
                 parts = list(executor.map(run, bounds))
+        return self._merge_parts(parts)
+
+    def _merge_parts(
+        self, parts: Sequence[tuple]
+    ) -> tuple[list[dict], list[int]]:
+        """Merge per-chunk fold outputs (chunk order) into one result."""
 
         k = len(self.children)
         merged: list[dict[Any, list]] = [{} for _ in range(k)]
@@ -241,6 +272,31 @@ class FusedScan:
             "fused",
             storage=storage,
         )
+
+
+def _pickles(payload: Any) -> bool:
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True
+
+
+def _process_fused_task(
+    parent_columns: tuple[str, ...],
+    children: tuple[FusedChild, ...],
+    rows: list[tuple],
+) -> tuple:
+    """Fold one chunk in a worker process.
+
+    Re-prepares the scan from the shipped shape: the kernel cache keys on
+    column names, table names, and expression shapes (not object identity),
+    so after the first chunk each worker reuses its compiled kernel.
+    """
+    scan = prepare_fused_scan(Schema(parent_columns), children)
+    if scan is None:  # pragma: no cover — parent compiled the same shape
+        raise RuntimeError("fused kernel failed to compile in worker process")
+    return scan._fold(rows, scan._dim_probes())
 
 
 #: Cache of compiled shared-scan kernels, keyed by the full shape of the
@@ -572,6 +628,7 @@ def prepare_fused_scan(
         _dims=dims,
         batch_source=batch_source,
         _fold_cols=fold_cols,
+        parent_columns=parent_schema.columns,
     )
 
 

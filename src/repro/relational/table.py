@@ -17,8 +17,9 @@ view over either backing, so existing callers work unchanged; batch-aware
 callers use :meth:`Table.append_batch` and :meth:`Table.columns` to skip
 per-row tuple construction entirely.  Storage is chosen per table via the
 ``storage=`` parameter, with the ``REPRO_COLUMNAR`` environment variable
-acting as a global override: ``REPRO_COLUMNAR=0`` forces row storage
-everywhere (kill-switch), ``REPRO_COLUMNAR=1`` makes columnar the default.
+acting as a global override: columnar is the shipped default, and
+``REPRO_COLUMNAR=0`` is the kill-switch forcing row storage everywhere
+(even over an explicit ``storage="column"`` request).
 
 Deletions tombstone the row's slot rather than compacting, so slots held by
 indexes stay valid; freed slots are recycled by later insertions.
@@ -47,8 +48,12 @@ _PROMOTE_PROBE = 16
 
 
 def columnar_default() -> bool:
-    """True when ``REPRO_COLUMNAR`` makes columnar the default storage."""
-    value = os.environ.get("REPRO_COLUMNAR", "")
+    """True unless ``REPRO_COLUMNAR=0`` opts out of columnar-by-default.
+
+    Columnar storage is the shipped default; setting ``REPRO_COLUMNAR=0``
+    (the kill-switch) reverts every default-storage table to row storage.
+    """
+    value = os.environ.get("REPRO_COLUMNAR", "1")
     return bool(value) and value != "0"
 
 
@@ -299,6 +304,25 @@ class ColumnStore:
                 col.extend(values)
         self._valid.extend(b"\x01" * n)
 
+    def promote_columns(self) -> int:
+        """Promote plain-list columns to typed arrays where possible.
+
+        Fresh ``append_batch`` loads promote automatically; a table built
+        row-at-a-time (dimension tables, for instance) accumulates plain
+        lists even when every value is uniformly ``int`` or ``float``.
+        This catches those up after the build.  Returns how many columns
+        were promoted; later writes that do not fit demote as usual.
+        """
+        promoted = 0
+        columns = self._columns
+        for i, col in enumerate(columns):
+            if isinstance(col, list) and col:
+                typed = _typed_column(col)
+                if isinstance(typed, array):
+                    columns[i] = typed
+                    promoted += 1
+        return promoted
+
     # Bulk primitives -------------------------------------------------
 
     def take(self, slots: Sequence[int]) -> list[list[Any]]:
@@ -424,6 +448,18 @@ class Table:
         else:
             positions = self.schema.positions(names)
         return self._store.column_lists(positions)
+
+    def promote_columns(self) -> int:
+        """Promote uniformly-typed plain-list columns to typed arrays.
+
+        The row-at-a-time counterpart to ``append_batch``'s automatic
+        promotion: call it once after an incremental build (dimension
+        tables are built row by row) to get typed-array storage for the
+        numeric columns.  Returns how many columns were promoted; a no-op
+        (returning 0) on row storage.
+        """
+        promote = getattr(self._store, "promote_columns", None)
+        return promote() if promote is not None else 0
 
     def take(self, slots: Sequence[int]) -> list[list[Any]]:
         """Column-wise gather of the rows stored at *slots* (one output

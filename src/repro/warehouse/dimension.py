@@ -122,6 +122,10 @@ class DimensionTable:
                 f"got {self.hierarchy.key!r}"
             )
         self.table.create_index([self.key], unique=True)
+        # Dimension tables are built row-at-a-time, which leaves columnar
+        # backings holding plain lists; promote the numeric columns to
+        # typed arrays now that the build is complete.
+        self.table.promote_columns()
 
     def __repr__(self) -> str:
         return f"DimensionTable({self.name!r}, {len(self.table)} rows)"

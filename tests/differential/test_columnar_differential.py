@@ -1,11 +1,12 @@
 """Differential testing of the columnar engine.
 
 Hypothesis generates random star-schema change sets and demands that the
-columnar engine (``REPRO_COLUMNAR=1``), the row-store engine, the
-interpreter (``REPRO_CODEGEN=0``), the ``REPRO_COLUMNAR=0`` kill-switch
-configuration, and the SQLite backend all land identical post-refresh
-summary tables — and that each one matches from-scratch recomputation —
-across the Table 1 aggregate shapes and both MIN/MAX deletion policies.
+columnar engine (the shipped default, and explicit ``REPRO_COLUMNAR=1``),
+the row-store engine (the ``REPRO_COLUMNAR=0`` kill-switch), the
+interpreter (``REPRO_CODEGEN=0``), and the SQLite backend all land
+identical post-refresh summary tables — and that each one matches
+from-scratch recomputation — across the Table 1 aggregate shapes and both
+MIN/MAX deletion policies.
 
 A fault-injection sweep then fails a refresh at every mutation step on a
 columnar view and asserts the rollback restores the physical slot layout
@@ -39,12 +40,13 @@ from ..property.test_property_refresh import (
 from .harness import differ_message, env, rows_equivalent
 
 #: The engine matrix: every configuration must land the same final state.
-#: ``columnar_killed`` proves the kill-switch path is the row path even
-#: when the environment asks for columnar storage.
+#: ``row`` is the ``REPRO_COLUMNAR=0`` kill-switch (columnar is the
+#: shipped default, so the row path only exists behind it);
+#: ``columnar_default`` proves an unset environment lands on columnar.
 ENGINES = {
-    "row": {"REPRO_COLUMNAR": None, "REPRO_CODEGEN": None},
+    "row": {"REPRO_COLUMNAR": "0", "REPRO_CODEGEN": None},
     "columnar": {"REPRO_COLUMNAR": "1", "REPRO_CODEGEN": None},
-    "columnar_killed": {"REPRO_COLUMNAR": "0", "REPRO_CODEGEN": None},
+    "columnar_default": {"REPRO_COLUMNAR": None, "REPRO_CODEGEN": None},
     "interpreted": {"REPRO_COLUMNAR": "1", "REPRO_CODEGEN": "0"},
 }
 
@@ -66,7 +68,7 @@ def final_state(engine, shape, policy, base, to_insert, to_delete):
         pos = build_fact(base)
         view = MaterializedView.build(make_view(pos, shape))
         expected_storage = (
-            "column" if ENGINES[engine]["REPRO_COLUMNAR"] == "1" else "row"
+            "row" if ENGINES[engine]["REPRO_COLUMNAR"] == "0" else "column"
         )
         assert view.table.storage == expected_storage
         changes = ChangeSet("pos", pos.table.schema)

@@ -53,15 +53,20 @@ def both_tables(rows=ROWS):
 
 
 class TestStorageResolution:
-    def test_default_is_row(self):
+    def test_default_is_column(self):
         with env("REPRO_COLUMNAR", None):
-            assert resolve_storage(None) == "row"
-            assert Table("t", COLS).storage == "row"
+            assert resolve_storage(None) == "column"
+            assert Table("t", COLS).storage == "column"
 
-    def test_env_flips_default_to_column(self):
+    def test_explicit_env_keeps_column_default(self):
         with env("REPRO_COLUMNAR", "1"):
             assert resolve_storage(None) == "column"
             assert Table("t", COLS).storage == "column"
+
+    def test_kill_switch_flips_default_to_row(self):
+        with env("REPRO_COLUMNAR", "0"):
+            assert resolve_storage(None) == "row"
+            assert Table("t", COLS).storage == "row"
 
     def test_explicit_request_wins_over_default(self):
         with env("REPRO_COLUMNAR", "1"):

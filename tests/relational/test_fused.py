@@ -175,6 +175,33 @@ class TestBatchFolds:
         assert chunked_groups == serial_groups
         assert chunked_probes == serial_probes
 
+    def test_fold_chunked_process_backend_equals_fold(self, fused_inputs):
+        """The process backend re-prepares the scan inside each worker and
+        still merges to the serial fold, byte for byte."""
+        scan, parent_delta, _edges = self.scan_and_delta(fused_inputs)
+        assert scan.parent_columns is not None
+        rows = parent_delta.table.rows()
+        serial_groups, serial_probes = scan.fold(rows)
+        chunked_groups, chunked_probes = scan.fold_chunked(
+            rows, 2, backend="process", max_workers=2
+        )
+        assert chunked_groups == serial_groups
+        assert chunked_probes == serial_probes
+
+    def test_fold_chunked_process_degrades_without_columns(self, fused_inputs):
+        """A hand-built scan with no ``parent_columns`` cannot ship itself
+        to a worker process; it silently degrades to threads and still
+        matches the serial fold."""
+        scan, parent_delta, _edges = self.scan_and_delta(fused_inputs)
+        bare = dataclasses.replace(scan, parent_columns=None)
+        rows = parent_delta.table.rows()
+        serial_groups, serial_probes = scan.fold(rows)
+        degraded_groups, degraded_probes = bare.fold_chunked(
+            rows, 3, backend="process", max_workers=2
+        )
+        assert degraded_groups == serial_groups
+        assert degraded_probes == serial_probes
+
     def test_finalize_inherits_requested_storage(self, fused_inputs):
         scan, parent_delta, edges = self.scan_and_delta(fused_inputs)
         groups, _probes = scan.fold(parent_delta.table.rows())
